@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: ring vs double-binary-tree all-reduce (paper Sec. 3.4).
+ *
+ * The paper motivates modeling both algorithms: ring is
+ * bandwidth-optimal but its latency term grows linearly in the group
+ * size, which matters for the tiny per-token all-reduces of
+ * inference; the tree keeps bandwidth optimality with log-depth
+ * latency "and helps scale inference up to 8 GPUs". This bench
+ * quantifies the crossover and its end-to-end effect.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    std::cout << "Ablation: collective algorithm (ring vs double "
+                 "binary tree)\n\n";
+
+    NetworkLink link = presets::nvlink3();
+
+    std::cout << "Per-op all-reduce time (us), 8 endpoints:\n\n";
+    Table ops({"Volume", "Ring", "Tree", "Tree speedup"});
+    for (double vol : {10 * KB, 100 * KB, 1 * MB, 10 * MB, 100 * MB,
+                       1 * GB}) {
+        double ring = collectiveTime(CollectiveKind::AllReduce, vol, 8,
+                                     link, CollectiveAlgorithm::Ring)
+                          .time;
+        double tree =
+            collectiveTime(CollectiveKind::AllReduce, vol, 8, link,
+                           CollectiveAlgorithm::DoubleBinaryTree)
+                .time;
+        ops.beginRow()
+            .cell(formatBytes(vol))
+            .cell(ring * 1e6, 1)
+            .cell(tree * 1e6, 1)
+            .cell(ring / tree, 2);
+        ops.endRow();
+    }
+    ops.print(std::cout);
+
+    std::cout << "\nEnd-to-end Llama2-13B inference latency (ms), "
+                 "B=1, 200+200 tokens:\n\n";
+    Table e2e({"TP", "Ring (ms)", "Tree (ms)", "Tree gain (%)"});
+    System sys = presets::dgxA100(1);
+    for (int tp : {2, 4, 8}) {
+        InferenceOptions opts;
+        opts.tensorParallel = tp;
+        opts.collectiveAlgorithm = CollectiveAlgorithm::Ring;
+        double ring =
+            evaluateInference(models::llama2_13b(), sys, opts)
+                .totalLatency;
+        opts.collectiveAlgorithm =
+            CollectiveAlgorithm::DoubleBinaryTree;
+        double tree =
+            evaluateInference(models::llama2_13b(), sys, opts)
+                .totalLatency;
+        e2e.beginRow()
+            .cell(static_cast<long long>(tp))
+            .cell(ring * 1e3, 0)
+            .cell(tree * 1e3, 0)
+            .cell(100.0 * (ring - tree) / ring, 1);
+        e2e.endRow();
+    }
+    e2e.print(std::cout);
+
+    std::cout << "\nEnd-to-end GPT-175B training time (s), 64 A100s "
+                 "(training volumes are large; the algorithms nearly "
+                 "tie):\n\n";
+    Table tr({"Algorithm", "t/batch (s)"});
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    for (auto [name, algo] :
+         {std::pair<const char *, CollectiveAlgorithm>{
+              "ring", CollectiveAlgorithm::Ring},
+          {"tree", CollectiveAlgorithm::DoubleBinaryTree}}) {
+        TrainingOptions opts;
+        opts.collectiveAlgorithm = algo;
+        TrainingReport rep = evaluateTraining(
+            models::gpt175b(), presets::dgxA100(8), par, 64, opts);
+        tr.beginRow().cell(name).cell(rep.timePerBatch, 2);
+        tr.endRow();
+    }
+    tr.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Extension bench: long-context inference scaling (paper Sec. 1.1:
+ * "execution time and memory complexity of attention grows
+ * quadratically with sequence length. An important challenge ... is
+ * scaling the performance of transformer models with long
+ * sequences").
+ *
+ * Llama2-13B on one H100: prompt length 1k..32k, fixed 256 generated
+ * tokens, with and without FlashAttention for the prefill.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    std::cout << "Extension: long-context inference, Llama2-13B on "
+                 "1x H100, 256 generated tokens\n\n";
+
+    TransformerConfig model = models::llama2_13b();
+    System sys = presets::dgxH100(1);
+
+    Table out({"Prompt", "prefill (ms)", "prefill+FA (ms)",
+               "FA speedup", "decode ms/token", "KV cache (GiB)",
+               "fits"});
+
+    for (long long prompt :
+         {1024LL, 2048LL, 4096LL, 8192LL, 16384LL, 32768LL}) {
+        InferenceOptions opts;
+        opts.tensorParallel = 1;
+        opts.batch = 1;
+        opts.promptLength = prompt;
+        opts.generateLength = 256;
+
+        InferenceReport plain = evaluateInference(model, sys, opts);
+        opts.flashAttention = true;
+        InferenceReport flash = evaluateInference(model, sys, opts);
+
+        out.beginRow()
+            .cell(prompt)
+            .cell(plain.prefill.time * 1e3, 1)
+            .cell(flash.prefill.time * 1e3, 1)
+            .cell(plain.prefill.time / flash.prefill.time, 2)
+            .cell(flash.decode.time / 256.0 * 1e3, 2)
+            .cell(flash.kvCacheBytes / GiB, 2)
+            .cell(flash.fitsDeviceMemory ? "yes" : "NO");
+        out.endRow();
+    }
+    out.print(std::cout);
+
+    std::cout << "\nExpected: unfused prefill grows quadratically "
+                 "and FlashAttention's advantage widens with the "
+                 "prompt; decode cost creeps up only through the "
+                 "KV-cache reads, which eventually crowd out the "
+                 "weights in device memory.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: training-time scaling of GPT-7B on 1024
+ * GPUs across logic technology nodes N12..N1, for four HBM
+ * generations and three inter-node network technologies. At every
+ * corner the DSE engine (Sec. 3.6) re-optimizes the area/power split.
+ * Configuration from Table 3: DP-TP-SP-PP = 64-4-4-4.
+ *
+ * Expected shape: training time drops steeply through N5 then
+ * saturates (compute-bound layers turn memory-bound); HBM2 -> HBM2E
+ * is a large gain while HBM3 -> HBM4 adds little (network-bound);
+ * raising the inter-node network 100 -> 400 GB/s helps markedly.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+double
+trainTime(const Device &dev, const NetworkLink &inter)
+{
+    System sys = makeSystem(dev, 8, 128, presets::nvlink4(), inter);
+
+    ParallelConfig par;
+    par.dataParallel = 64;
+    par.tensorParallel = 4;
+    par.pipelineParallel = 4;
+    par.sequenceParallel = true;
+    par.schedule = PipelineSchedule::Interleaved1F1B;
+    par.interleavedStages = 8;
+
+    TrainingOptions opts;
+    opts.recompute = Recompute::Selective;
+    return evaluateTraining(models::gpt7b(), sys, par, 512, opts)
+        .timePerBatch;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 6: technology-node scaling, GPT-7B on 1024 "
+                 "GPUs (Table 3 config: 64-4-4-4)\n"
+              << "Cell value: DSE-optimized training time per batch "
+                 "(s)\n\n";
+
+    DseOptions dse;
+    dse.gridSteps = 3;
+    dse.refineRounds = 10;
+
+    for (const NetworkLink &net : nettech::scalingSweep()) {
+        std::vector<std::string> headers = {"Node"};
+        for (const DramTech &d : dram::trainingSweep())
+            headers.push_back(d.name);
+        Table out(std::move(headers));
+
+        for (const LogicNode &node : logicNodes()) {
+            out.beginRow().cell(node.name);
+            for (const DramTech &d : dram::trainingSweep()) {
+                TechConfig tech;
+                tech.node = node;
+                tech.dram = d;
+                DseResult r = optimizeAllocation(
+                    tech,
+                    [&](const Device &dev) {
+                        return trainTime(dev, net);
+                    },
+                    dse);
+                out.cell(r.objective, 3);
+            }
+            out.endRow();
+        }
+
+        std::cout << "Inter-node network: " << net.name << " ("
+                  << formatBandwidth(net.bandwidth) << " per node)\n";
+        out.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: GEMM-time breakdown of a single
+ * transformer layer by bound type (compute vs DRAM vs on-chip
+ * memory), as the logic node scales, for HBM2 / HBM3 / HBM4. The
+ * devices are the DSE-optimized designs of the Fig. 6 experiment.
+ *
+ * Expected shape: at old nodes the layer is dominated by
+ * compute-bound GEMM time; with node scaling the memory-bound share
+ * grows and dominates ("the impact of memory boundedness becomes
+ * dominant gradually with the scaling").
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    std::cout << "Fig. 7: GEMM time breakdown per transformer layer "
+                 "by bound type (GPT-7B layer, DSE devices of the "
+                 "Fig. 6 sweep)\n\n";
+
+    TransformerConfig model = models::gpt7b();
+    LayerGraphParams gp;
+    gp.batch = 1;
+    gp.seq = 2048;
+    gp.tensorParallel = 4;
+    gp.sequenceParallel = true;
+    gp.training = true;
+
+    DseOptions dse;
+    dse.gridSteps = 3;
+    dse.refineRounds = 10;
+    NetworkLink net = nettech::gdrX8();
+
+    for (const DramTech &d :
+         {dram::hbm2(), dram::hbm3_26(), dram::hbm4()}) {
+        Table out({"Node", "compute (%)", "DRAM (%)", "on-chip (%)",
+                   "GEMM time (ms)"});
+        for (const LogicNode &node : logicNodes()) {
+            TechConfig tech;
+            tech.node = node;
+            tech.dram = d;
+            DseResult r = optimizeAllocation(
+                tech,
+                [&](const Device &dev) {
+                    System sys = makeSystem(dev, 8, 128,
+                                            presets::nvlink4(), net);
+                    ParallelConfig par;
+                    par.dataParallel = 64;
+                    par.tensorParallel = 4;
+                    par.pipelineParallel = 4;
+                    par.sequenceParallel = true;
+                    par.schedule = PipelineSchedule::Interleaved1F1B;
+                    par.interleavedStages = 8;
+                    TrainingOptions opts;
+                    opts.recompute = Recompute::Selective;
+                    return evaluateTraining(model, sys, par, 512, opts)
+                        .timePerBatch;
+                },
+                dse);
+
+            double compute = 0.0, dram_t = 0.0, onchip = 0.0;
+            for (const Op &op : layerForwardOps(model, gp)) {
+                if (op.kind != OpKind::Gemm)
+                    continue;
+                KernelEstimate est = evaluateOp(r.device, op);
+                double t = est.time - est.overhead;
+                if (est.computeBound())
+                    compute += t;
+                else if (est.dramBound())
+                    dram_t += t;
+                else
+                    onchip += t;
+            }
+            double total = compute + dram_t + onchip;
+            out.beginRow()
+                .cell(node.name)
+                .cell(100.0 * compute / total, 1)
+                .cell(100.0 * dram_t / total, 1)
+                .cell(100.0 * onchip / total, 1)
+                .cell(total * 1e3, 3);
+            out.endRow();
+        }
+        std::cout << "DRAM technology: " << d.name << " ("
+                  << formatBandwidth(d.bandwidth) << ")\n";
+        out.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: GEMM time breakdown per layer by bound
+ * type in the summarization (prefill) phase of Llama2-13B inference,
+ * for batch sizes 1 and 16, on A100 and H100; plus the inset (device
+ * memory capacity vs KV-cache and weight footprint).
+ *
+ * Paper numbers: A100 B=1 ~67% of GEMM time compute-bound, growing to
+ * ~96% at B=16; H100 B=1 0% compute-bound, growing to ~85% at B=16.
+ * The generation phase is completely memory-bound.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    std::cout << "Fig. 8: prefill GEMM time by bound type, "
+                 "Llama2-13B (fp16, 200-token prompt)\n\n";
+
+    TransformerConfig model = models::llama2_13b();
+
+    Table out({"Device", "Batch", "compute-bound (%)",
+               "memory-bound (%)", "prefill (ms)", "decode mem-bound "
+               "(%)"});
+
+    for (const System &sys :
+         {presets::dgxA100(1), presets::dgxH100(1)}) {
+        for (long long batch : {1LL, 16LL}) {
+            InferenceOptions opts;
+            opts.tensorParallel = 1;
+            opts.batch = batch;
+            opts.promptLength = 200;
+            opts.generateLength = 200;
+
+            InferenceReport rep =
+                evaluateInference(model, sys, opts);
+
+            double gemm_total = rep.prefill.computeBoundGemmTime +
+                                rep.prefill.memoryBoundGemmTime;
+            double dec_total = rep.decode.computeBoundGemmTime +
+                               rep.decode.memoryBoundGemmTime;
+            out.beginRow()
+                .cell(sys.device.name)
+                .cell(batch)
+                .cell(100.0 * rep.prefill.computeBoundGemmTime /
+                          gemm_total,
+                      1)
+                .cell(100.0 * rep.prefill.memoryBoundGemmTime /
+                          gemm_total,
+                      1)
+                .cell(rep.prefill.time * 1e3, 2)
+                .cell(100.0 * rep.decode.memoryBoundGemmTime /
+                          dec_total,
+                      1);
+            out.endRow();
+        }
+    }
+    out.print(std::cout);
+
+    std::cout << "\nInset: memory footprint (Llama2-13B, context "
+                 "400)\n\n";
+    Table inset({"Batch", "KV cache (GiB)", "Weights (GiB)",
+                 "A100 capacity (GiB)"});
+    for (long long batch : {1LL, 16LL}) {
+        inset.beginRow()
+            .cell(batch)
+            .cell(kvCacheBytes(model, batch, 400, Precision::FP16) /
+                      GiB,
+                  2)
+            .cell(modelWeightBytes(model, Precision::FP16) / GiB, 2)
+            .cell(80.0, 0);
+        inset.endRow();
+    }
+    inset.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: impact of DRAM technology scaling on
+ * inference latency. Llama2-13B, batch 1, 200 prompt + 200 generated
+ * tokens; the on-chip design is held at A100 (7 nm) while DRAM sweeps
+ * GDDR6 -> HBM2 -> HBM2E -> HBM3 -> HBM3E -> HBMX, on 2-GPU and
+ * 8-GPU systems over NVLink-Gen3; plus an HBMX + NVLink-Gen4 point
+ * and the 2x/8x H100-HBM3E reference lines.
+ *
+ * Expected shape: latency scales nearly linearly with DRAM bandwidth
+ * up to HBM3, slows toward HBM3E, and flattens beyond (the problem
+ * turns L2-bound once DRAM out-runs the last-level cache); NV3 -> NV4
+ * yields a modest (~12%) communication gain; at 8 GPUs communication
+ * is roughly 1.6x the memory time.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+InferenceReport
+run(const Device &dev, const NetworkLink &nv, int tp)
+{
+    System sys = makeSystem(dev, 8, 1, nv, presets::ndrInfiniBand());
+    InferenceOptions opts;
+    opts.tensorParallel = tp;
+    opts.batch = 1;
+    opts.promptLength = 200;
+    opts.generateLength = 200;
+    return evaluateInference(models::llama2_13b(), sys, opts);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Fig. 9: DRAM technology scaling for inference, "
+                 "Llama2-13B, B=1, 200+200 tokens, A100-class "
+                 "on-chip design\n\n";
+
+    Device a100 = presets::a100_80gb();
+
+    for (int tp : {2, 8}) {
+        Table out({"DRAM", "Network", "latency (ms)", "decode mem "
+                   "(ms)", "decode comm (ms)", "comm/mem"});
+        for (const DramTech &d : dram::inferenceSweep()) {
+            Device dev = presets::withDram(a100, d.name, d.bandwidth,
+                                           d.capacity);
+            InferenceReport rep = run(dev, presets::nvlink3(), tp);
+            out.beginRow()
+                .cell(d.name)
+                .cell("NV3")
+                .cell(rep.totalLatency * 1e3, 1)
+                .cell(rep.decode.memoryTime * 1e3, 1)
+                .cell(rep.decode.commTime * 1e3, 1)
+                .cell(rep.decode.commTime /
+                          std::max(rep.decode.memoryTime, 1e-9),
+                      2);
+            out.endRow();
+        }
+
+        // HBMX with the faster NVLink-Gen4 interconnect.
+        DramTech hx = dram::hbmx();
+        Device dev = presets::withDram(a100, hx.name, hx.bandwidth,
+                                       hx.capacity);
+        InferenceReport rep = run(dev, presets::nvlink4(), tp);
+        out.beginRow()
+            .cell(hx.name)
+            .cell("NV4")
+            .cell(rep.totalLatency * 1e3, 1)
+            .cell(rep.decode.memoryTime * 1e3, 1)
+            .cell(rep.decode.commTime * 1e3, 1)
+            .cell(rep.decode.commTime /
+                      std::max(rep.decode.memoryTime, 1e-9),
+                  2);
+        out.endRow();
+
+        // Reference line: H100-HBM3E over NVLink-Gen4.
+        DramTech h3e = dram::hbm3e();
+        Device h100 = presets::withDram(presets::h100_sxm(), h3e.name,
+                                        h3e.bandwidth, h3e.capacity);
+        InferenceReport href = run(h100, presets::nvlink4(), tp);
+        out.beginRow()
+            .cell("H100-HBM3E (ref)")
+            .cell("NV4")
+            .cell(href.totalLatency * 1e3, 1)
+            .cell(href.decode.memoryTime * 1e3, 1)
+            .cell(href.decode.commTime * 1e3, 1)
+            .cell(href.decode.commTime /
+                      std::max(href.decode.memoryTime, 1e-9),
+                  2);
+        out.endRow();
+
+        std::cout << tp << "-GPU system:\n";
+        out.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the analytical engine itself:
+ * how fast the model evaluates kernels, training batches, inference
+ * runs and DSE searches. DSE sweeps (Fig. 6) run thousands of
+ * evaluations, so engine throughput is a real usability property.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+void
+BM_GemmEstimate(benchmark::State &state)
+{
+    Device dev = presets::a100_80gb();
+    GemmShape s{state.range(0), state.range(0), state.range(0),
+                Precision::FP16};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(estimateGemm(dev, s));
+    }
+}
+BENCHMARK(BM_GemmEstimate)->Arg(512)->Arg(4096)->Arg(16384);
+
+void
+BM_TileSearch(benchmark::State &state)
+{
+    GemmShape s{8192, 8192, 8192, Precision::FP16};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(searchTile(s, 40 * MiB));
+    }
+}
+BENCHMARK(BM_TileSearch);
+
+void
+BM_TrainingEvaluation(benchmark::State &state)
+{
+    System sys = presets::dgxA100(8);
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evaluateTraining(models::gpt175b(), sys, par, 64, {}));
+    }
+}
+BENCHMARK(BM_TrainingEvaluation);
+
+void
+BM_InferenceEvaluation(benchmark::State &state)
+{
+    System sys = presets::dgxA100(1);
+    InferenceOptions opts;
+    opts.tensorParallel = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evaluateInference(models::llama2_13b(), sys, opts));
+    }
+}
+BENCHMARK(BM_InferenceEvaluation)->Arg(1)->Arg(8);
+
+void
+BM_MemoryFootprint(benchmark::State &state)
+{
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trainingMemoryPerDevice(
+            models::gpt175b(), par, 64, 2048, Recompute::Selective));
+    }
+}
+BENCHMARK(BM_MemoryFootprint);
+
+void
+BM_DseSearch(benchmark::State &state)
+{
+    TechConfig tech;
+    tech.node = logicNode("N5");
+    tech.dram = dram::hbm3_26();
+    DseOptions opts;
+    opts.gridSteps = 3;
+    opts.refineRounds = 8;
+    for (auto _ : state) {
+        DseResult r = optimizeAllocation(
+            tech,
+            [](const Device &dev) {
+                return estimateGemm(dev, {4096, 4096, 4096,
+                                          Precision::FP16})
+                    .time;
+            },
+            opts);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_DseSearch);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces paper Table 1: training time per batch for GPT models on
+ * A100 clusters under different parallelism mixes and recomputation
+ * strategies, compared against the times published in Megatron-LM
+ * (Narayanan et al.) and Korthikanti et al., which the paper validates
+ * against. Prints t_ref, t_pred and the relative error per row.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+struct Row
+{
+    TransformerConfig model;
+    int gpus;
+    long long batch;
+    long long dp, tp, pp;
+    bool sp;
+    Recompute recompute;
+    double t_ref;  ///< seconds, from the paper's Table 1
+};
+
+std::vector<Row>
+tableRows()
+{
+    return {
+        // Only TP and PP, full recomputation.
+        {models::gpt22b(), 8, 4, 1, 8, 1, false, Recompute::Full, 1.4},
+        {models::gpt175b(), 64, 64, 1, 8, 8, false, Recompute::Full,
+         18.1},
+        {models::gpt530b(), 280, 280, 1, 8, 35, false, Recompute::Full,
+         49.1},
+        {models::gpt1008b(), 512, 512, 1, 8, 64, false, Recompute::Full,
+         94.4},
+        // TP, PP and SP, selective recomputation.
+        {models::gpt22b(), 8, 4, 1, 8, 1, true, Recompute::Selective,
+         1.1},
+        {models::gpt175b(), 64, 64, 1, 8, 8, true, Recompute::Selective,
+         13.8},
+        {models::gpt530b(), 280, 280, 1, 8, 35, true,
+         Recompute::Selective, 37.8},
+        {models::gpt1008b(), 512, 512, 1, 8, 64, true,
+         Recompute::Selective, 71.5},
+        // DP, TP and PP, full recomputation.
+        {models::gpt310b(), 1920, 2160, 15, 8, 16, false,
+         Recompute::Full, 37.6},
+        {models::gpt530b(), 2520, 2520, 9, 8, 35, false,
+         Recompute::Full, 54.2},
+        {models::gpt1008b(), 3072, 3072, 6, 8, 64, false,
+         Recompute::Full, 102.4},
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 1: training time per batch, A100 clusters "
+                 "(reference: Megatron-LM / Korthikanti et al.)\n\n";
+
+    Table out({"Model", "#GPUs", "Batch", "DP-TP-PP-SP", "Recompute",
+               "t_ref (s)", "t_pred (s)", "dE (%)"});
+
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    for (const Row &row : tableRows()) {
+        System sys = presets::dgxA100(row.gpus / 8);
+
+        ParallelConfig par;
+        par.dataParallel = row.dp;
+        par.tensorParallel = row.tp;
+        par.pipelineParallel = row.pp;
+        par.sequenceParallel = row.sp;
+        par.microbatchSize = 1;
+        par.schedule = PipelineSchedule::OneFOneB;
+
+        TrainingOptions opts;
+        opts.recompute = row.recompute;
+        opts.seqLength = 2048;
+
+        TrainingReport rep =
+            evaluateTraining(row.model, sys, par, row.batch, opts);
+
+        double err = relativeErrorPct(rep.timePerBatch, row.t_ref);
+        err_sum += err;
+        err_max = std::max(err_max, err);
+
+        out.beginRow()
+            .cell(row.model.name)
+            .cell(static_cast<long long>(row.gpus))
+            .cell(row.batch)
+            .cell(par.label())
+            .cell(recomputeName(row.recompute))
+            .cell(row.t_ref, 1)
+            .cell(rep.timePerBatch, 1)
+            .cell(err, 1);
+        out.endRow();
+    }
+
+    out.print(std::cout);
+    std::cout << "\nmean |dE| = " << err_sum / tableRows().size()
+              << " %, max |dE| = " << err_max << " %\n";
+    return 0;
+}

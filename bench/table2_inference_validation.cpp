@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces paper Table 2: inference latency of Llama-2 models on
+ * A100 and H100 systems with TP degree 1-8, batch 1, 200 prompt +
+ * 200 generated tokens, validated against the NVIDIA-published
+ * latencies quoted in the paper.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+struct Row
+{
+    TransformerConfig model;
+    int tp;
+    double nvidia_a100_ms;
+    double nvidia_h100_ms;
+};
+
+std::vector<Row>
+tableRows()
+{
+    return {
+        {models::llama2_70b(), 8, 4735, 3202},
+        {models::llama2_70b(), 4, 6403, 4116},
+        {models::llama2_70b(), 2, 10500, 6267},
+        {models::llama2_13b(), 8, 1693, 1201},
+        {models::llama2_13b(), 4, 1894, 1431},
+        {models::llama2_13b(), 2, 2499, 1717},
+        {models::llama2_13b(), 1, 3884, 2396},
+        {models::llama2_7b(), 8, 1187, 828},
+        {models::llama2_7b(), 4, 1280, 924},
+        {models::llama2_7b(), 2, 1544, 1143},
+        {models::llama2_7b(), 1, 2190, 1440},
+    };
+}
+
+double
+predictMs(const TransformerConfig &model, const System &sys, int tp)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = tp;
+    opts.batch = 1;
+    opts.promptLength = 200;
+    opts.generateLength = 200;
+    InferenceReport rep = evaluateInference(model, sys, opts);
+    return rep.totalLatency * 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Table 2: Llama-2 inference latency (ms), B=1, "
+                 "200+200 tokens (reference: NVIDIA published data)\n\n";
+
+    Table out({"Model", "#GPUs", "TP", "t_nv A100", "t_pred A100",
+               "dE (%)", "t_nv H100", "t_pred H100", "dE (%)"});
+
+    System a100 = presets::dgxA100(1);
+    System h100 = presets::dgxH100(1);
+
+    double err_sum = 0.0;
+    double err_max = 0.0;
+    int count = 0;
+    for (const Row &row : tableRows()) {
+        double pa = predictMs(row.model, a100, row.tp);
+        double ph = predictMs(row.model, h100, row.tp);
+        double ea = relativeErrorPct(pa, row.nvidia_a100_ms);
+        double eh = relativeErrorPct(ph, row.nvidia_h100_ms);
+        err_sum += ea + eh;
+        err_max = std::max({err_max, ea, eh});
+        count += 2;
+
+        out.beginRow()
+            .cell(row.model.name)
+            .cell(static_cast<long long>(row.tp))
+            .cell(static_cast<long long>(row.tp))
+            .cell(row.nvidia_a100_ms, 0)
+            .cell(pa, 0)
+            .cell(ea, 1)
+            .cell(row.nvidia_h100_ms, 0)
+            .cell(ph, 0)
+            .cell(eh, 1);
+        out.endRow();
+    }
+
+    out.print(std::cout);
+    std::cout << "\nmean |dE| = " << err_sum / count
+              << " %, max |dE| = " << err_max << " %\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Table 4: per-GEMM execution time and performance
+ * bound type for one transformer layer in the summarization (prefill)
+ * phase of Llama2-13B inference, on single A100 and H100 devices,
+ * half precision, batch 1, 200-token prompt.
+ *
+ * The paper's headline observation: on A100 the projection/MLP GEMMs
+ * are compute-bound while the per-head attention GEMMs are DRAM-bound;
+ * on H100 every GEMM turns DRAM-bound ("as the compute scales,
+ * performance for inference becomes completely determined by the
+ * memory technology").
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    std::cout << "Table 4: GEMM bound types, Llama2-13B prefill "
+                 "(B=1, 200 tokens, fp16)\n\n";
+
+    TransformerConfig model = models::llama2_13b();
+    InferenceOptions opts;
+    opts.tensorParallel = 1;
+    opts.batch = 1;
+    opts.promptLength = 200;
+    opts.generateLength = 200;
+
+    Device a100 = presets::a100_80gb();
+    Device h100 = presets::h100_sxm();
+
+    std::vector<GemmBoundRow> ra = prefillGemmTable(a100, model, opts);
+    std::vector<GemmBoundRow> rh = prefillGemmTable(h100, model, opts);
+
+    Table out({"GEMM-function", "A100 t (us)", "A100 bound",
+               "H100 t (us)", "H100 bound"});
+    int h100_dram_bound = 0;
+    for (size_t i = 0; i < ra.size(); ++i) {
+        out.beginRow()
+            .cell(ra[i].name)
+            .cell(ra[i].time * 1e6, 1)
+            .cell(ra[i].boundType)
+            .cell(rh[i].time * 1e6, 1)
+            .cell(rh[i].boundType);
+        out.endRow();
+        if (rh[i].boundType != "compute")
+            ++h100_dram_bound;
+    }
+    out.print(std::cout);
+
+    std::cout << "\nH100: " << h100_dram_bound << "/" << rh.size()
+              << " GEMMs memory-bound (paper: all DRAM-bound on "
+                 "H100)\n";
+
+    std::cout << "\nDecode phase (context=300), same layer:\n\n";
+    Table dec({"GEMM-function", "A100 t (us)", "A100 bound",
+               "H100 t (us)", "H100 bound"});
+    std::vector<GemmBoundRow> da = decodeGemmTable(a100, model, opts,
+                                                   300);
+    std::vector<GemmBoundRow> dh = decodeGemmTable(h100, model, opts,
+                                                   300);
+    for (size_t i = 0; i < da.size(); ++i) {
+        dec.beginRow()
+            .cell(da[i].name)
+            .cell(da[i].time * 1e6, 1)
+            .cell(da[i].boundType)
+            .cell(dh[i].time * 1e6, 1)
+            .cell(dh[i].boundType);
+        dec.endRow();
+    }
+    dec.print(std::cout);
+    std::cout << "\n(The generation phase is completely memory "
+                 "bound - paper Sec. 6.1.)\n";
+    return 0;
+}

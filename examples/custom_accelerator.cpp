@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Custom-accelerator walkthrough: the paper's architecture
+ * abstraction layer means a hypothetical device is just a handful of
+ * numbers. We sketch a 2027-class inference accelerator — modest
+ * compute, huge SRAM, HBM4e — and ask the model whether it beats a
+ * B200 at serving Llama2-70B, and how it trains.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+Device
+inferenceAsic()
+{
+    Device d;
+    d.name = "ASIC-2027";
+    // Half a B200's matrix throughput...
+    d.matrixThroughput = {
+        {Precision::FP16, 1100 * TFLOPS},
+        {Precision::FP8, 2200 * TFLOPS},
+        {Precision::FP4, 4400 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 60 * TFLOPS},
+        {Precision::FP16, 120 * TFLOPS},
+    };
+    // ...but a giant SRAM and next-gen HBM: built to stream weights.
+    d.mem = {
+        {"DRAM", 288 * GiB, 10.0 * TBps, 0.88},
+        {"SRAM", 1 * GiB, 40.0 * TBps, 0.85},
+        {"SMEM", 64 * MiB, 80.0 * TBps, 0.80},
+    };
+    d.matrixMaxEfficiency = 0.85;
+    d.gemmKHalf = 450.0;
+    d.gemvDramUtilization = 0.85;  // wide, deeply banked interface
+    d.kernelLaunchOverhead = 1.0e-6;
+    d.validate();
+    return d;
+}
+
+} // namespace
+
+int
+main()
+{
+    Device asic = inferenceAsic();
+    System asic_sys = makeSystem(asic, 8, 1, presets::nvlink5(),
+                                 presets::ndrInfiniBand());
+    System b200 = presets::dgxB200(1);
+
+    std::cout << "Custom accelerator study: " << asic.name
+              << " vs B200, Llama2-70B\n\n";
+
+    // ---- Serving comparison -------------------------------------------
+    ServingOptions sopts;
+    sopts.tensorParallel = 2;
+    Table serve({"Device", "Batch", "tok/s", "ms/token", "fits"});
+    for (const System &sys : {asic_sys, b200}) {
+        for (long long b : {1LL, 16LL, 64LL}) {
+            ServingPoint pt = evaluateServingPoint(
+                models::llama2_70b(), sys, sopts, b);
+            serve.beginRow()
+                .cell(sys.device.name)
+                .cell(b)
+                .cell(pt.tokensPerSecond, 0)
+                .cell(pt.interTokenLatency * 1e3, 2)
+                .cell(pt.fits ? "yes" : "NO");
+            serve.endRow();
+        }
+    }
+    serve.print(std::cout);
+    std::cout << "\nThe ASIC's 10 TB/s DRAM wins the memory-bound "
+                 "low-batch regime; B200's compute catches up once "
+                 "batching makes prefill/FFN compute-bound.\n\n";
+
+    // ---- Training check -------------------------------------------------
+    ParallelConfig par;
+    par.dataParallel = 2;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 4;
+    par.sequenceParallel = true;
+
+    Table train({"Device", "t/batch (s)", "MFU (%)"});
+    for (const System &sys :
+         {makeSystem(asic, 8, 8, presets::nvlink5(),
+                     presets::ndrInfiniBand()),
+          presets::dgxB200(8)}) {
+        TrainingOptions topts;
+        topts.recompute = Recompute::Selective;
+        TrainingReport rep = evaluateTraining(models::gpt175b(), sys,
+                                              par, 128, topts);
+        train.beginRow()
+            .cell(sys.device.name)
+            .cell(rep.timePerBatch, 2)
+            .cell(rep.mfu * 100.0, 1);
+        train.endRow();
+    }
+    train.print(std::cout);
+    std::cout << "\nTraining is compute-bound: the B200 keeps its "
+                 "2x matrix-throughput edge there.\n";
+    return 0;
+}

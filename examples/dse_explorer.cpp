@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space exploration walkthrough: size a future accelerator for
+ * LLM training at the N3 node under an area/power budget, then study
+ * how the optimal compute/memory split shifts between a training and
+ * an inference objective (paper Sec. 3.6 / 5.3).
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+double
+trainingObjective(const Device &dev)
+{
+    System sys = makeSystem(dev, 8, 128, presets::nvlink4(),
+                            nettech::gdrX8());
+    ParallelConfig par;
+    par.dataParallel = 64;
+    par.tensorParallel = 4;
+    par.pipelineParallel = 4;
+    par.sequenceParallel = true;
+    par.schedule = PipelineSchedule::Interleaved1F1B;
+    par.interleavedStages = 8;
+    TrainingOptions opts;
+    opts.recompute = Recompute::Selective;
+    return evaluateTraining(models::gpt7b(), sys, par, 512, opts)
+        .timePerBatch;
+}
+
+double
+inferenceObjective(const Device &dev)
+{
+    System sys = makeSystem(dev, 8, 1, presets::nvlink4(),
+                            nettech::gdrX8());
+    InferenceOptions opts;
+    opts.tensorParallel = 1;
+    return evaluateInference(models::llama2_13b(), sys, opts)
+        .totalLatency;
+}
+
+void
+report(const char *label, const DseResult &r)
+{
+    const Device &d = r.device;
+    std::cout << label << ":\n"
+              << "  compute area fraction : "
+              << r.allocation.computeAreaFraction << "\n"
+              << "  compute power fraction: "
+              << r.allocation.computePowerFraction << "\n"
+              << "  fp16 matrix throughput: "
+              << formatFlops(d.matrixFlops(Precision::FP16)) << "\n"
+              << "  L2 capacity           : "
+              << formatBytes(d.level("L2").capacity) << "\n"
+              << "  objective             : " << formatTime(r.objective)
+              << "  (" << r.evaluations << " evaluations)\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "DSE explorer: sizing an N3 accelerator "
+                 "(826 mm^2, 700 W, HBM3)\n\n";
+
+    TechConfig tech;
+    tech.node = logicNode("N3");
+    tech.dram = dram::hbm3();
+    tech.powerBudget = 700.0;
+
+    report("Optimized for GPT-7B training (1024 GPUs)",
+           optimizeAllocation(tech, trainingObjective));
+    report("Optimized for Llama2-13B inference (1 GPU)",
+           optimizeAllocation(tech, inferenceObjective));
+
+    std::cout << "Inference is DRAM-bound, so its optimum spends "
+                 "little on the compute array; training pushes the "
+                 "compute fraction up until the power budget binds "
+                 "(paper Secs. 5.3 / 6.2).\n";
+    return 0;
+}

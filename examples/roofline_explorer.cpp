@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Roofline explorer: plot data (printed as a table and as CSV) for
+ * every kernel of a Llama2-13B layer in prefill and decode, on A100
+ * and H100 — the visual form of the paper's Table 4 / Fig. 8
+ * analysis. Pipe the CSV blocks into your plotting tool of choice.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+#include "roofline/report.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    TransformerConfig model = models::llama2_13b();
+
+    for (const Device &dev :
+         {presets::a100_80gb(), presets::h100_sxm()}) {
+        RooflineCeilings c = rooflineCeilings(dev, Precision::FP16);
+        std::cout << dev.name << ": peak "
+                  << formatFlops(c.peakFlops) << ", DRAM "
+                  << formatBandwidth(c.dramBandwidth)
+                  << ", ridge at " << c.ridgeIntensity
+                  << " FLOP/byte\n\n";
+
+        LayerGraphParams prefill;
+        prefill.batch = 1;
+        prefill.seq = 200;
+        prefill.training = false;
+
+        std::cout << "Prefill kernels (200-token prompt):\n";
+        Table pre = rooflineTable(dev, Precision::FP16,
+                                  layerForwardOps(model, prefill));
+        pre.print(std::cout);
+
+        std::cout << "\nDecode kernels (context 300):\n";
+        Table dec = rooflineTable(
+            dev, Precision::FP16,
+            decodeLayerOps(model, 1, 300, 1, Precision::FP16));
+        dec.print(std::cout);
+
+        std::cout << "\nCSV (prefill):\n";
+        pre.printCsv(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Reading the plot: every decode kernel sits far "
+                 "left of the ridge (memory-bound); prefill "
+                 "projections sit right of it on A100 but fall back "
+                 "below the H100 ridge - the Table 4 story.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Training planner: given a model and a cluster, let the planner
+ * library enumerate every valid parallelization mapping, reject those
+ * that overflow device memory, and rank the survivors by predicted
+ * time per batch — the workflow the paper's Sec. 5.1 motivates
+ * ("determine the best parallelism mapping or training settings for
+ * an LLM model on a certain hardware system").
+ *
+ * Scenario: GPT-3 175B on 16 DGX-A100 nodes (128 GPUs), batch 128.
+ */
+
+#include <iostream>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+int
+main()
+{
+    const TransformerConfig model = models::gpt175b();
+    const System sys = presets::dgxA100(16);  // 128 GPUs
+    const long long batch = 128;
+
+    std::cout << "Training planner: " << model.name << " on "
+              << sys.totalDevices() << "x " << sys.device.name
+              << ", global batch " << batch << "\n\n";
+
+    TrainingPlannerOptions opts;
+    opts.keep = 12;
+    opts.zeroStages = {0, 1};
+    std::vector<TrainingPlan> plans =
+        planTraining(model, sys, batch, opts);
+
+    Table out({"DP-TP-PP-SP", "Schedule", "Recompute", "ZeRO",
+               "t/batch (s)", "MFU (%)", "Mem/GPU (GiB)",
+               "Bubble (%)"});
+    for (const TrainingPlan &p : plans) {
+        out.beginRow()
+            .cell(p.parallel.label())
+            .cell(p.parallel.interleavedStages > 1
+                      ? "interleaved x" +
+                            std::to_string(
+                                p.parallel.interleavedStages)
+                      : scheduleName(p.parallel.schedule))
+            .cell(recomputeName(p.options.recompute))
+            .cell(static_cast<long long>(p.options.memory.zeroStage))
+            .cell(p.report.timePerBatch, 2)
+            .cell(p.report.mfu * 100.0, 1)
+            .cell(p.report.memory.total() / GiB, 1)
+            .cell(p.report.bubbleFraction * 100.0, 1);
+        out.endRow();
+    }
+    out.print(std::cout);
+
+    if (!plans.empty()) {
+        const TrainingPlan &best = plans.front();
+        std::cout << "\nBest: " << best.parallel.label() << " with "
+                  << recomputeName(best.options.recompute)
+                  << " recomputation -> "
+                  << formatTime(best.report.timePerBatch)
+                  << " per batch (MFU " << best.report.mfu * 100.0
+                  << " %).\n";
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * JSON (de)serialization for the library's configuration and report
+ * types, plus a name registry for the built-in presets. This is what
+ * the CLI (tools/optimus_cli) and any embedding application use to
+ * drive the model from config files.
+ *
+ * Deserializers accept either a full specification or a preset
+ * reference: {"preset": "a100-80gb"} — a preset can also be used as a
+ * base and overridden field by field.
+ */
+
+#ifndef OPTIMUS_CONFIG_SERIALIZE_H
+#define OPTIMUS_CONFIG_SERIALIZE_H
+
+#include <string>
+#include <vector>
+
+#include "inference/engine.h"
+#include "training/trainer.h"
+#include "util/json.h"
+
+namespace optimus {
+namespace config {
+
+// ---- Preset registries -----------------------------------------------
+
+/** Known device preset names ("a100-80gb", "h100-sxm", ...). */
+std::vector<std::string> devicePresetNames();
+/** Lookup a device preset; throws ConfigError on unknown name. */
+Device devicePreset(const std::string &name);
+
+/** Known model preset names ("gpt-175b", "llama2-13b", ...). */
+std::vector<std::string> modelPresetNames();
+/** Lookup a model preset; throws ConfigError on unknown name. */
+TransformerConfig modelPreset(const std::string &name);
+
+/** Known system preset names ("dgx-a100", "dgx-h100", ...). */
+std::vector<std::string> systemPresetNames();
+/** Lookup a system preset with @p num_nodes nodes. */
+System systemPreset(const std::string &name, int num_nodes);
+
+// ---- Serialization -----------------------------------------------------
+
+JsonValue toJson(const Device &dev);
+JsonValue toJson(const NetworkLink &link);
+JsonValue toJson(const System &sys);
+JsonValue toJson(const TransformerConfig &cfg);
+JsonValue toJson(const ParallelConfig &par);
+JsonValue toJson(const TrainingMemory &mem);
+JsonValue toJson(const TrainingReport &rep);
+JsonValue toJson(const InferenceReport &rep);
+
+// ---- Deserialization -----------------------------------------------------
+
+Device deviceFromJson(const JsonValue &j);
+NetworkLink linkFromJson(const JsonValue &j);
+System systemFromJson(const JsonValue &j);
+TransformerConfig modelFromJson(const JsonValue &j);
+ParallelConfig parallelFromJson(const JsonValue &j);
+TrainingOptions trainingOptionsFromJson(const JsonValue &j);
+InferenceOptions inferenceOptionsFromJson(const JsonValue &j);
+
+} // namespace config
+} // namespace optimus
+
+#endif // OPTIMUS_CONFIG_SERIALIZE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Umbrella header: include this to get the whole public API.
+ */
+
+#ifndef OPTIMUS_CORE_OPTIMUS_H
+#define OPTIMUS_CORE_OPTIMUS_H
+
+#include "comm/collective.h"
+#include "config/serialize.h"
+#include "core/scenario.h"
+#include "core/sensitivity.h"
+#include "dse/search.h"
+#include "energy/energy.h"
+#include "hw/device.h"
+#include "hw/network.h"
+#include "hw/precision.h"
+#include "hw/presets.h"
+#include "hw/system.h"
+#include "inference/engine.h"
+#include "inference/serving.h"
+#include "inference/speculative.h"
+#include "memory/footprint.h"
+#include "memory/kv_cache.h"
+#include "parallel/config.h"
+#include "planner/planner.h"
+#include "parallel/pipeline.h"
+#include "parallel/schedule_sim.h"
+#include "roofline/estimate.h"
+#include "roofline/gemm.h"
+#include "roofline/gemv.h"
+#include "roofline/report.h"
+#include "roofline/stream.h"
+#include "tech/dram.h"
+#include "tech/logic_node.h"
+#include "tech/network_tech.h"
+#include "tech/uarch.h"
+#include "training/trainer.h"
+#include "util/error.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/activation.h"
+#include "workload/graph.h"
+#include "workload/model_config.h"
+#include "workload/presets.h"
+
+#endif // OPTIMUS_CORE_OPTIMUS_H

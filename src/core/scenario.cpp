@@ -1,0 +1,57 @@
+#include "core/scenario.h"
+
+#include "util/error.h"
+
+namespace optimus {
+
+Scenario::Scenario(TransformerConfig model, System system,
+                   ParallelConfig par, long long global_batch)
+    : model_(std::move(model)), system_(std::move(system)),
+      parallel_(par), globalBatch_(global_batch), isTraining_(true)
+{
+    model_.validate();
+    system_.validate();
+    parallel_.validate(model_, system_, globalBatch_);
+}
+
+Scenario::Scenario(TransformerConfig model, System system,
+                   InferenceOptions inference)
+    : model_(std::move(model)), system_(std::move(system)),
+      inference_(inference), isTraining_(false)
+{
+    model_.validate();
+    system_.validate();
+    parallel_.tensorParallel = inference_.tensorParallel;
+}
+
+TrainingReport
+Scenario::train(const TrainingOptions &opts) const
+{
+    checkConfig(isTraining_, "scenario was built for inference");
+    return evaluateTraining(model_, system_, parallel_, globalBatch_,
+                            opts);
+}
+
+InferenceReport
+Scenario::infer() const
+{
+    checkConfig(!isTraining_, "scenario was built for training");
+    return evaluateInference(model_, system_, inference_);
+}
+
+TrainingMemory
+Scenario::memory(Recompute recompute, long long seq) const
+{
+    checkConfig(isTraining_, "scenario was built for inference");
+    return trainingMemoryPerDevice(model_, parallel_, globalBatch_, seq,
+                                   recompute);
+}
+
+bool
+Scenario::fitsDeviceMemory(Recompute recompute, long long seq) const
+{
+    return memory(recompute, seq).total() <=
+           system_.device.dram().capacity;
+}
+
+} // namespace optimus

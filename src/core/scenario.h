@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Convenience facade: a Scenario binds a model, a system and a
+ * parallelization mapping, exposing one-call training and inference
+ * evaluation with validation up front. This is the entry point the
+ * examples and most downstream users want.
+ */
+
+#ifndef OPTIMUS_CORE_SCENARIO_H
+#define OPTIMUS_CORE_SCENARIO_H
+
+#include "inference/engine.h"
+#include "memory/footprint.h"
+#include "training/trainer.h"
+
+namespace optimus {
+
+/** A bound (model, system, mapping) triple. */
+class Scenario
+{
+  public:
+    /** Bind and validate a training scenario. */
+    Scenario(TransformerConfig model, System system, ParallelConfig par,
+             long long global_batch);
+
+    /** Bind an inference scenario (TP-only mapping). */
+    Scenario(TransformerConfig model, System system,
+             InferenceOptions inference);
+
+    /** Evaluate training time/memory; requires a training scenario. */
+    TrainingReport train(const TrainingOptions &opts = {}) const;
+
+    /** Evaluate inference latency; requires an inference scenario. */
+    InferenceReport infer() const;
+
+    /** Per-device memory footprint for a recomputation choice. */
+    TrainingMemory memory(Recompute recompute,
+                          long long seq = 2048) const;
+
+    /** True if the training footprint fits device DRAM. */
+    bool fitsDeviceMemory(Recompute recompute,
+                          long long seq = 2048) const;
+
+    const TransformerConfig &model() const { return model_; }
+    const System &system() const { return system_; }
+    const ParallelConfig &parallel() const { return parallel_; }
+    long long globalBatch() const { return globalBatch_; }
+
+  private:
+    TransformerConfig model_;
+    System system_;
+    ParallelConfig parallel_;
+    long long globalBatch_ = 0;
+    InferenceOptions inference_;
+    bool isTraining_ = false;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_CORE_SCENARIO_H

@@ -1,0 +1,114 @@
+#include "core/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optimus {
+
+const char *
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::MatrixCompute: return "matrix compute";
+      case Resource::DramBandwidth: return "DRAM bandwidth";
+      case Resource::CacheBandwidth: return "on-chip bandwidth";
+      case Resource::IntraNodeNetwork: return "intra-node network";
+      case Resource::InterNodeNetwork: return "inter-node network";
+      case Resource::KernelOverhead: return "software overheads";
+    }
+    throw ModelError("unknown resource");
+}
+
+const std::vector<Resource> &
+allResources()
+{
+    static const std::vector<Resource> all = {
+        Resource::MatrixCompute,    Resource::DramBandwidth,
+        Resource::CacheBandwidth,   Resource::IntraNodeNetwork,
+        Resource::InterNodeNetwork, Resource::KernelOverhead,
+    };
+    return all;
+}
+
+System
+scaleResource(const System &sys, Resource r, double factor)
+{
+    checkPositive(factor, "resource scale factor");
+    System out = sys;
+    switch (r) {
+      case Resource::MatrixCompute:
+        for (auto &[p, f] : out.device.matrixThroughput)
+            f *= factor;
+        break;
+      case Resource::DramBandwidth:
+        out.device.mem[0].bandwidth *= factor;
+        break;
+      case Resource::CacheBandwidth:
+        for (size_t i = 1; i < out.device.mem.size(); ++i)
+            out.device.mem[i].bandwidth *= factor;
+        break;
+      case Resource::IntraNodeNetwork:
+        out.intraLink.bandwidth *= factor;
+        break;
+      case Resource::InterNodeNetwork:
+        out.interLink.bandwidth *= factor;
+        break;
+      case Resource::KernelOverhead:
+        // "More" overhead resource = lower overhead cost.
+        out.device.kernelLaunchOverhead /= factor;
+        out.intraLink.collectiveOverhead /= factor;
+        out.interLink.collectiveOverhead /= factor;
+        out.intraLink.latency /= factor;
+        out.interLink.latency /= factor;
+        break;
+    }
+    out.validate();
+    return out;
+}
+
+std::vector<Sensitivity>
+analyzeSensitivity(const System &sys,
+                   const std::function<double(const System &)> &
+                       objective)
+{
+    checkConfig(static_cast<bool>(objective),
+                "sensitivity analysis needs an objective");
+    const double base = objective(sys);
+    checkPositive(base, "baseline objective");
+
+    const double bump = 1.25;
+    std::vector<Sensitivity> out;
+    for (Resource r : allResources()) {
+        Sensitivity s;
+        s.resource = r;
+        double bumped = objective(scaleResource(sys, r, bump));
+        // Elasticity via log ratio: symmetric in the bump size.
+        s.elasticity = std::log(bumped / base) / std::log(bump);
+        double doubled = objective(scaleResource(sys, r, 2.0));
+        s.speedupFrom2x = base / doubled;
+        out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sensitivity &a, const Sensitivity &b) {
+                  return a.elasticity < b.elasticity;
+              });
+    return out;
+}
+
+Table
+sensitivityTable(const std::vector<Sensitivity> &s)
+{
+    Table t({"Resource", "elasticity", "speedup from 2x"});
+    for (const Sensitivity &row : s) {
+        t.beginRow()
+            .cell(resourceName(row.resource))
+            .cell(row.elasticity, 3)
+            .cell(row.speedupFrom2x, 3);
+        t.endRow();
+    }
+    return t;
+}
+
+} // namespace optimus

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sensitivity analysis: bottleneck attribution by differentiation.
+ *
+ * The paper's purpose is to "expose performance bottlenecks" and show
+ * how they shift with technology (Secs. 5.3, 6.2). This module makes
+ * that quantitative for any scenario: scale each hardware resource
+ * (compute, DRAM bandwidth, cache bandwidth, intra/inter-node network,
+ * kernel overhead) by a small factor, re-evaluate, and report the
+ * elasticity d(log time)/d(log resource). An elasticity near -1 means
+ * the scenario is completely bound by that resource; near 0 means the
+ * resource is free headroom.
+ */
+
+#ifndef OPTIMUS_CORE_SENSITIVITY_H
+#define OPTIMUS_CORE_SENSITIVITY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/system.h"
+#include "util/table.h"
+
+namespace optimus {
+
+/** A scalable hardware resource. */
+enum class Resource {
+    MatrixCompute,    ///< matrix-engine throughput
+    DramBandwidth,
+    CacheBandwidth,   ///< every on-chip level
+    IntraNodeNetwork, ///< NVLink-class bandwidth
+    InterNodeNetwork, ///< IB/NVS-class bandwidth
+    KernelOverhead,   ///< launch + collective software overheads
+};
+
+/** Name of a resource ("matrix compute", ...). */
+const char *resourceName(Resource r);
+
+/** All resources, in reporting order. */
+const std::vector<Resource> &allResources();
+
+/** A copy of @p sys with @p r scaled by @p factor. */
+System scaleResource(const System &sys, Resource r, double factor);
+
+/** One resource's measured sensitivity. */
+struct Sensitivity
+{
+    Resource resource;
+    /**
+     * Elasticity of execution time with respect to the resource:
+     * (dT/T) / (dR/R), measured with a +25% resource bump. -1 means
+     * fully bound by the resource; 0 means insensitive.
+     */
+    double elasticity = 0.0;
+    /** Predicted speedup from doubling the resource. */
+    double speedupFrom2x = 1.0;
+};
+
+/**
+ * Evaluate the elasticity of @p objective (a time, in seconds, as a
+ * function of the system) for every resource.
+ */
+std::vector<Sensitivity> analyzeSensitivity(
+    const System &sys,
+    const std::function<double(const System &)> &objective);
+
+/** Render sensitivities as a table, most-binding resource first. */
+Table sensitivityTable(const std::vector<Sensitivity> &s);
+
+} // namespace optimus
+
+#endif // OPTIMUS_CORE_SENSITIVITY_H

@@ -1,0 +1,91 @@
+#include "dse/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace optimus {
+
+namespace {
+
+double
+clampFraction(double v, const DseOptions &opts)
+{
+    return std::clamp(v, opts.minFraction, opts.maxFraction);
+}
+
+} // namespace
+
+DseResult
+optimizeAllocation(const TechConfig &tech,
+                   const DeviceObjective &objective,
+                   const DseOptions &opts, const UArchCalibration &cal)
+{
+    checkConfig(static_cast<bool>(objective),
+                "DSE needs an objective function");
+    checkPositive(static_cast<long long>(opts.gridSteps), "gridSteps");
+
+    DseResult best;
+    best.objective = std::numeric_limits<double>::infinity();
+    int evals = 0;
+
+    auto evaluate = [&](const UArchAllocation &alloc) {
+        Device dev = buildDevice(tech, alloc, cal);
+        ++evals;
+        return objective(dev);
+    };
+
+    auto consider = [&](const UArchAllocation &alloc, double value) {
+        if (value < best.objective) {
+            best.objective = value;
+            best.allocation = alloc;
+        }
+    };
+
+    // Coarse multi-start grid.
+    for (int i = 1; i <= opts.gridSteps; ++i) {
+        for (int j = 1; j <= opts.gridSteps; ++j) {
+            UArchAllocation a;
+            a.computeAreaFraction = clampFraction(
+                double(i) / (opts.gridSteps + 1), opts);
+            a.computePowerFraction = clampFraction(
+                double(j) / (opts.gridSteps + 1), opts);
+            consider(a, evaluate(a));
+        }
+    }
+
+    // Coordinate descent with step halving from the best grid point.
+    UArchAllocation current = best.allocation;
+    double value = best.objective;
+    double step = opts.initialStep;
+    for (int round = 0; round < opts.refineRounds; ++round) {
+        bool improved = false;
+        for (int axis = 0; axis < 2; ++axis) {
+            for (double dir : {+1.0, -1.0}) {
+                UArchAllocation trial = current;
+                double &frac = (axis == 0) ? trial.computeAreaFraction
+                                           : trial.computePowerFraction;
+                frac = clampFraction(frac + dir * step, opts);
+                double trial_value = evaluate(trial);
+                if (trial_value < value) {
+                    current = trial;
+                    value = trial_value;
+                    improved = true;
+                }
+            }
+        }
+        consider(current, value);
+        if (!improved)
+            step *= 0.5;
+        if (step < 1e-3)
+            break;
+    }
+
+    best.device = buildDevice(tech, best.allocation, cal);
+    best.evaluations = evals;
+    return best;
+}
+
+} // namespace optimus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Design-space exploration (paper Sec. 3.6): a constrained search over
+ * the area/power split between compute and on-chip memory that
+ * minimizes a workload's predicted execution time at a given
+ * technology corner.
+ *
+ * The search is a multi-start coordinate descent with step halving —
+ * the derivative-free analogue of the paper's gradient-descent search
+ * over an objective that is piecewise smooth (roofline maxima make it
+ * non-differentiable at bound transitions).
+ */
+
+#ifndef OPTIMUS_DSE_SEARCH_H
+#define OPTIMUS_DSE_SEARCH_H
+
+#include <functional>
+
+#include "tech/uarch.h"
+
+namespace optimus {
+
+/** Objective: predicted execution time (seconds) of a device. */
+using DeviceObjective = std::function<double(const Device &)>;
+
+/** Search tunables. */
+struct DseOptions
+{
+    int gridSteps = 5;       ///< coarse grid per axis for multi-start
+    int refineRounds = 24;   ///< coordinate-descent iterations
+    double initialStep = 0.12;
+    double minFraction = 0.05;
+    double maxFraction = 0.95;
+};
+
+/** Outcome of a DSE run. */
+struct DseResult
+{
+    UArchAllocation allocation;
+    Device device;
+    double objective = 0.0;
+    int evaluations = 0;
+};
+
+/**
+ * Find the allocation minimizing @p objective at tech corner @p tech.
+ */
+DseResult optimizeAllocation(const TechConfig &tech,
+                             const DeviceObjective &objective,
+                             const DseOptions &opts = {},
+                             const UArchCalibration &cal =
+                                 UArchCalibration::a100Anchor());
+
+} // namespace optimus
+
+#endif // OPTIMUS_DSE_SEARCH_H

@@ -1,0 +1,36 @@
+#include "hw/network.h"
+
+#include "util/error.h"
+
+namespace optimus {
+
+double
+NetworkLink::utilization(double volume) const
+{
+    checkConfig(volume >= 0.0, "transfer volume must be non-negative");
+    if (volume == 0.0)
+        return maxUtilization;
+    return maxUtilization * volume / (volume + halfUtilVolume);
+}
+
+double
+NetworkLink::effectiveBandwidth(double volume) const
+{
+    return bandwidth * utilization(volume);
+}
+
+void
+NetworkLink::validate() const
+{
+    checkConfig(!name.empty(), "network link needs a name");
+    checkPositive(bandwidth, name + " bandwidth");
+    checkConfig(latency >= 0.0, name + ": latency must be non-negative");
+    checkConfig(halfUtilVolume >= 0.0,
+                name + ": halfUtilVolume must be non-negative");
+    checkConfig(maxUtilization > 0.0 && maxUtilization <= 1.0,
+                name + ": maxUtilization must be in (0,1]");
+    checkConfig(collectiveOverhead >= 0.0,
+                name + ": collectiveOverhead must be non-negative");
+}
+
+} // namespace optimus

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Point-to-point network link abstraction.
+ *
+ * A link is characterized by a peak bandwidth, a per-hop latency, and
+ * a message-size-dependent bandwidth utilization (Sec. 3.4 of the
+ * paper: "for inference, the data volume is generally low and the
+ * network bandwidth is underutilized. We apply a utilization factor to
+ * derive the actual bandwidth").
+ */
+
+#ifndef OPTIMUS_HW_NETWORK_H
+#define OPTIMUS_HW_NETWORK_H
+
+#include <string>
+
+namespace optimus {
+
+/**
+ * A network link between two endpoints (GPUs within a node, or nodes
+ * within a cluster). Bandwidth is per endpoint, per direction.
+ */
+struct NetworkLink
+{
+    std::string name;
+
+    /** Peak per-direction bandwidth per endpoint, bytes/s. */
+    double bandwidth = 0.0;
+
+    /** One-way latency per hop, seconds (includes software stack). */
+    double latency = 0.0;
+
+    /**
+     * Message volume at which bandwidth utilization reaches half of
+     * its maximum; models protocol/pipelining inefficiency for small
+     * transfers. The utilization curve is
+     *   u(V) = maxUtilization * V / (V + halfUtilVolume).
+     */
+    double halfUtilVolume = 4.0e6;
+
+    /** Utilization ceiling for very large transfers. */
+    double maxUtilization = 0.90;
+
+    /**
+     * Fixed software cost charged once per collective operation
+     * (NCCL-style launch/synchronization overhead). Dominates the
+     * cost of the tiny per-token all-reduces of inference.
+     */
+    double collectiveOverhead = 10.0e-6;
+
+    /** Achievable bandwidth for a transfer of @p volume bytes. */
+    double effectiveBandwidth(double volume) const;
+
+    /** Bandwidth utilization factor in (0, maxUtilization]. */
+    double utilization(double volume) const;
+
+    /** Validate invariants; throws ConfigError on violation. */
+    void validate() const;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_HW_NETWORK_H

@@ -1,0 +1,60 @@
+#include "hw/precision.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace optimus {
+
+double
+precisionBytes(Precision p)
+{
+    switch (p) {
+      case Precision::FP32:
+      case Precision::TF32:
+        return 4.0;
+      case Precision::FP16:
+      case Precision::BF16:
+        return 2.0;
+      case Precision::FP8:
+      case Precision::INT8:
+        return 1.0;
+      case Precision::FP4:
+        return 0.5;
+    }
+    throw ModelError("unknown precision");
+}
+
+std::string
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::FP32: return "fp32";
+      case Precision::TF32: return "tf32";
+      case Precision::FP16: return "fp16";
+      case Precision::BF16: return "bf16";
+      case Precision::FP8:  return "fp8";
+      case Precision::FP4:  return "fp4";
+      case Precision::INT8: return "int8";
+    }
+    throw ModelError("unknown precision");
+}
+
+Precision
+parsePrecision(const std::string &name)
+{
+    std::string s = name;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "fp32") return Precision::FP32;
+    if (s == "tf32") return Precision::TF32;
+    if (s == "fp16" || s == "half") return Precision::FP16;
+    if (s == "bf16") return Precision::BF16;
+    if (s == "fp8") return Precision::FP8;
+    if (s == "fp4") return Precision::FP4;
+    if (s == "int8") return Precision::INT8;
+    throw ConfigError("unknown precision name: " + name);
+}
+
+} // namespace optimus

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Numeric precisions used by the performance model.
+ *
+ * Precision determines both the byte width of every tensor element and
+ * which peak-throughput entry of a device applies to a kernel
+ * (Sec. 5.2 of the paper: H100 adds an FP8 transformer engine, B200
+ * adds FP4 processing).
+ */
+
+#ifndef OPTIMUS_HW_PRECISION_H
+#define OPTIMUS_HW_PRECISION_H
+
+#include <string>
+
+namespace optimus {
+
+/** Supported numeric formats. */
+enum class Precision {
+    FP32,
+    TF32,
+    FP16,
+    BF16,
+    FP8,
+    FP4,
+    INT8,
+};
+
+/** Element size in bytes (FP4 is 0.5). */
+double precisionBytes(Precision p);
+
+/** Human-readable name, e.g. "fp16". */
+std::string precisionName(Precision p);
+
+/** Parse a precision name (case-insensitive); throws ConfigError. */
+Precision parsePrecision(const std::string &name);
+
+} // namespace optimus
+
+#endif // OPTIMUS_HW_PRECISION_H

@@ -1,0 +1,327 @@
+#include "hw/presets.h"
+
+#include "util/units.h"
+
+namespace optimus {
+namespace presets {
+
+namespace {
+
+/** Memory hierarchy helper: DRAM -> L2 -> SMEM. */
+std::vector<MemoryLevel>
+gpuHierarchy(double dram_cap, double dram_bw, double l2_cap,
+             double l2_bw, double smem_cap, double smem_bw)
+{
+    return {
+        {"DRAM", dram_cap, dram_bw, 0.85},
+        {"L2", l2_cap, l2_bw, 0.80},
+        {"SMEM", smem_cap, smem_bw, 0.80},
+    };
+}
+
+} // namespace
+
+Device
+a100_80gb()
+{
+    Device d;
+    d.name = "A100-80GB";
+    d.matrixThroughput = {
+        {Precision::TF32, 156 * TFLOPS},
+        {Precision::FP16, 312 * TFLOPS},
+        {Precision::BF16, 312 * TFLOPS},
+        {Precision::INT8, 624 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 19.5 * TFLOPS},
+        {Precision::FP16, 78 * TFLOPS},
+        {Precision::BF16, 39 * TFLOPS},
+    };
+    d.mem = gpuHierarchy(80 * GiB, 1.9 * TBps,
+                         40 * MiB, 5.5 * TBps,
+                         20.25 * MiB, 19.0 * TBps);
+    d.matrixMaxEfficiency = 0.85;
+    d.gemvDramUtilization = 0.75;
+    d.kernelLaunchOverhead = 3.0e-6;
+    d.validate();
+    return d;
+}
+
+Device
+h100_sxm()
+{
+    Device d;
+    d.name = "H100-SXM";
+    d.matrixThroughput = {
+        {Precision::TF32, 494.7 * TFLOPS},
+        {Precision::FP16, 989.4 * TFLOPS},
+        {Precision::BF16, 989.4 * TFLOPS},
+        {Precision::FP8, 1978.9 * TFLOPS},
+        {Precision::INT8, 1978.9 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 66.9 * TFLOPS},
+        {Precision::FP16, 133.8 * TFLOPS},
+        {Precision::BF16, 133.8 * TFLOPS},
+    };
+    d.mem = gpuHierarchy(80 * GiB, 3.35 * TBps,
+                         50 * MiB, 11.0 * TBps,
+                         29.5 * MiB, 33.0 * TBps);
+    d.matrixMaxEfficiency = 0.85;
+    d.gemvDramUtilization = 0.70;
+    d.kernelLaunchOverhead = 3.0e-6;
+    d.validate();
+    return d;
+}
+
+Device
+h200_sxm()
+{
+    Device d = h100_sxm();
+    d.name = "H200-SXM";
+    d.mem[0] = {"DRAM", 141 * GiB, 4.8 * TBps, 0.85};
+    d.validate();
+    return d;
+}
+
+Device
+b100()
+{
+    Device d;
+    d.name = "B100";
+    d.matrixThroughput = {
+        {Precision::TF32, 875 * TFLOPS},
+        {Precision::FP16, 1750 * TFLOPS},
+        {Precision::BF16, 1750 * TFLOPS},
+        {Precision::FP8, 3500 * TFLOPS},
+        {Precision::FP4, 7000 * TFLOPS},
+        {Precision::INT8, 3500 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 110 * TFLOPS},
+        {Precision::FP16, 220 * TFLOPS},
+        {Precision::BF16, 220 * TFLOPS},
+    };
+    d.mem = gpuHierarchy(192 * GiB, 8.0 * TBps,
+                         100 * MiB, 22.0 * TBps,
+                         55 * MiB, 60.0 * TBps);
+    d.matrixMaxEfficiency = 0.85;
+    d.gemvDramUtilization = 0.72;
+    d.kernelLaunchOverhead = 3.0e-6;
+    d.validate();
+    return d;
+}
+
+Device
+b200()
+{
+    Device d = b100();
+    d.name = "B200";
+    d.matrixThroughput = {
+        {Precision::TF32, 1125 * TFLOPS},
+        {Precision::FP16, 2250 * TFLOPS},
+        {Precision::BF16, 2250 * TFLOPS},
+        {Precision::FP8, 4500 * TFLOPS},
+        {Precision::FP4, 9000 * TFLOPS},
+        {Precision::INT8, 4500 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 140 * TFLOPS},
+        {Precision::FP16, 280 * TFLOPS},
+        {Precision::BF16, 280 * TFLOPS},
+    };
+    d.validate();
+    return d;
+}
+
+Device
+tpuV4()
+{
+    Device d;
+    d.name = "TPU-v4";
+    d.matrixThroughput = {
+        {Precision::BF16, 275 * TFLOPS},
+        {Precision::FP16, 275 * TFLOPS},
+        {Precision::INT8, 550 * TFLOPS},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, 4.3 * TFLOPS},
+        {Precision::BF16, 8.6 * TFLOPS},
+    };
+    // CMEM (on-chip common memory) plays the L2 role; vector memory
+    // the scratch role.
+    d.mem = {
+        {"DRAM", 32 * GiB, 1.2 * TBps, 0.85},
+        {"CMEM", 128 * MiB, 7.0 * TBps, 0.80},
+        {"VMEM", 32 * MiB, 22.0 * TBps, 0.80},
+    };
+    // Systolic arrays sustain high utilization on large GEMMs but
+    // need long reduction dims to fill the 128x128 MXU pipelines.
+    d.matrixMaxEfficiency = 0.80;
+    d.gemmKHalf = 700.0;
+    d.gemvDramUtilization = 0.70;
+    d.kernelLaunchOverhead = 2.0e-6;
+    d.validate();
+    return d;
+}
+
+Device
+tpuV5p()
+{
+    Device d = tpuV4();
+    d.name = "TPU-v5p";
+    d.matrixThroughput = {
+        {Precision::BF16, 459 * TFLOPS},
+        {Precision::FP16, 459 * TFLOPS},
+        {Precision::INT8, 918 * TFLOPS},
+    };
+    d.mem[0] = {"DRAM", 95 * GiB, 2.765 * TBps, 0.85};
+    d.validate();
+    return d;
+}
+
+namespace {
+
+NetworkLink
+iciLink(const char *name, double bandwidth)
+{
+    // Inter-chip interconnect: per-direction per-chip rate across the
+    // torus; latency comparable to NVLink with a leaner software
+    // stack.
+    return {name, bandwidth, 4.0 * usec, 0.5 * MB, 0.80,
+            10.0 * usec};
+}
+
+NetworkLink
+dcnLink()
+{
+    return {"DCN", 50 * GBps, 10.0 * usec, 1.0 * MB, 0.85,
+            20.0 * usec};
+}
+
+} // namespace
+
+System
+tpuV4Pod(int num_cubes)
+{
+    return makeSystem(tpuV4(), 64, num_cubes,
+                      iciLink("ICI-v4", 150 * GBps), dcnLink());
+}
+
+System
+tpuV5pPod(int num_cubes)
+{
+    return makeSystem(tpuV5p(), 64, num_cubes,
+                      iciLink("ICI-v5p", 200 * GBps), dcnLink());
+}
+
+Device
+withDram(const Device &base, const std::string &dram_name,
+         double bandwidth, double capacity)
+{
+    Device d = base;
+    d.name = base.name + "-" + dram_name;
+    d.mem[0].name = "DRAM";
+    d.mem[0].bandwidth = bandwidth;
+    d.mem[0].capacity = capacity;
+    d.validate();
+    return d;
+}
+
+NetworkLink
+nvlink3()
+{
+    // 600 GB/s bidirectional -> 300 GB/s per direction per GPU.
+    return {"NVLink3", 300 * GBps, 7.0 * usec, 0.5 * MB, 0.80,
+            12.0 * usec};
+}
+
+NetworkLink
+nvlink4()
+{
+    return {"NVLink4", 450 * GBps, 5.0 * usec, 0.5 * MB, 0.80,
+            12.0 * usec};
+}
+
+NetworkLink
+nvlink5()
+{
+    return {"NVLink5", 900 * GBps, 4.0 * usec, 0.5 * MB, 0.80,
+            10.0 * usec};
+}
+
+NetworkLink
+hdrInfiniBand()
+{
+    return {"HDR-IB", 200 * GBps, 5.0 * usec, 1.0 * MB, 0.85,
+            20.0 * usec};
+}
+
+NetworkLink
+ndrInfiniBand()
+{
+    return {"NDR-IB", 400 * GBps, 5.0 * usec, 1.0 * MB, 0.85,
+            20.0 * usec};
+}
+
+NetworkLink
+xdrInfiniBand()
+{
+    return {"XDR-IB", 800 * GBps, 5.0 * usec, 1.0 * MB, 0.85,
+            20.0 * usec};
+}
+
+NetworkLink
+nvlinkSwitchSystem(const NetworkLink &per_gpu, int devices_per_node)
+{
+    NetworkLink l = per_gpu;
+    l.name = per_gpu.name + "-NVS";
+    l.bandwidth = per_gpu.bandwidth * devices_per_node;
+    l.latency = per_gpu.latency + 1.0 * usec;  // extra switch hop
+    return l;
+}
+
+System
+dgxA100(int num_nodes)
+{
+    return makeSystem(a100_80gb(), 8, num_nodes, nvlink3(),
+                      hdrInfiniBand());
+}
+
+System
+dgxH100(int num_nodes)
+{
+    return makeSystem(h100_sxm(), 8, num_nodes, nvlink4(),
+                      ndrInfiniBand());
+}
+
+System
+dgxH100Nvs(int num_nodes)
+{
+    return makeSystem(h100_sxm(), 8, num_nodes, nvlink4(),
+                      nvlinkSwitchSystem(nvlink4(), 8));
+}
+
+System
+dgxH200Nvs(int num_nodes)
+{
+    return makeSystem(h200_sxm(), 8, num_nodes, nvlink4(),
+                      nvlinkSwitchSystem(nvlink4(), 8));
+}
+
+System
+dgxB200(int num_nodes)
+{
+    return makeSystem(b200(), 8, num_nodes, nvlink5(),
+                      ndrInfiniBand());
+}
+
+System
+dgxB200Nvs(int num_nodes)
+{
+    return makeSystem(b200(), 8, num_nodes, nvlink5(),
+                      nvlinkSwitchSystem(nvlink5(), 8));
+}
+
+} // namespace presets
+} // namespace optimus

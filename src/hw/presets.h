@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Vendor device / link / system presets used throughout the paper's
+ * validation and case studies.
+ *
+ * Throughput numbers are dense (non-sparse) peak rates from public
+ * datasheets; DRAM bandwidths follow the values the paper quotes
+ * (HBM2e 1.9 TB/s, HBM3 3.35 TB/s, ...). Cache bandwidths are not
+ * published for recent NVIDIA parts; we use widely reproduced
+ * microbenchmark estimates (these only matter for bound-type
+ * classification, see Fig. 9 discussion in EXPERIMENTS.md).
+ */
+
+#ifndef OPTIMUS_HW_PRESETS_H
+#define OPTIMUS_HW_PRESETS_H
+
+#include "hw/system.h"
+
+namespace optimus {
+namespace presets {
+
+// ---- Devices -------------------------------------------------------
+
+/** NVIDIA A100-SXM4-80GB (Ampere, 7 nm, HBM2e @ 1.9 TB/s). */
+Device a100_80gb();
+
+/** NVIDIA H100-SXM5-80GB (Hopper, 5 nm, HBM3 @ 3.35 TB/s). */
+Device h100_sxm();
+
+/** NVIDIA H200-SXM-141GB (Hopper, HBM3e @ 4.8 TB/s). */
+Device h200_sxm();
+
+/** NVIDIA B100 (Blackwell, HBM3e @ 8 TB/s, 192 GB). */
+Device b100();
+
+/** NVIDIA B200 (Blackwell, FP4 engine, HBM3e @ 8 TB/s, 192 GB). */
+Device b200();
+
+/** Google TPU v4 (bf16 matrix units, HBM2 @ 1.2 TB/s, 128 MiB CMEM). */
+Device tpuV4();
+
+/** Google TPU v5p (bf16/int8, HBM2e @ 2.77 TB/s, 95 GiB). */
+Device tpuV5p();
+
+/**
+ * A copy of @p base with its DRAM level replaced (technology swap used
+ * by the Fig. 9 memory-technology-scaling study).
+ */
+Device withDram(const Device &base, const std::string &dram_name,
+                double bandwidth, double capacity);
+
+// ---- Intra-node links ----------------------------------------------
+
+/** NVLink gen3 (A100): 600 GB/s bidirectional per GPU. */
+NetworkLink nvlink3();
+/** NVLink gen4 (H100/H200): 900 GB/s bidirectional per GPU. */
+NetworkLink nvlink4();
+/** NVLink gen5 (B200): 1.8 TB/s bidirectional per GPU. */
+NetworkLink nvlink5();
+
+// ---- Inter-node links (per-node aggregate) --------------------------
+
+/** HDR InfiniBand, 200 GB/s per node (8 x HDR200 NICs). */
+NetworkLink hdrInfiniBand();
+/** NDR InfiniBand, 400 GB/s per node. */
+NetworkLink ndrInfiniBand();
+/** XDR InfiniBand, 800 GB/s per node. */
+NetworkLink xdrInfiniBand();
+/**
+ * NVLink Switch System: inter-node communication at intra-node NVLink
+ * speed (@p per_gpu link times @p devices_per_node GPUs).
+ */
+NetworkLink nvlinkSwitchSystem(const NetworkLink &per_gpu,
+                               int devices_per_node);
+
+// ---- Systems ---------------------------------------------------------
+
+/** DGX-A100 cluster: 8x A100-80GB per node, NVLink3 + HDR IB. */
+System dgxA100(int num_nodes);
+/** DGX-H100 cluster: 8x H100-SXM per node, NVLink4 + NDR IB. */
+System dgxH100(int num_nodes);
+/** DGX-H100 with NVLink Switch System across nodes. */
+System dgxH100Nvs(int num_nodes);
+/** DGX-H200 with NVLink Switch System across nodes. */
+System dgxH200Nvs(int num_nodes);
+/** DGX-B200 cluster with NDR IB across nodes. */
+System dgxB200(int num_nodes);
+/** DGX-B200 with NVLink Switch System across nodes. */
+System dgxB200Nvs(int num_nodes);
+
+/**
+ * TPU v4 pod slice: 64-chip ICI cubes as "nodes", data-center
+ * network between cubes.
+ */
+System tpuV4Pod(int num_cubes);
+
+/** TPU v5p pod slice, same topology abstraction. */
+System tpuV5pPod(int num_cubes);
+
+} // namespace presets
+} // namespace optimus
+
+#endif // OPTIMUS_HW_PRESETS_H

@@ -1,0 +1,45 @@
+#include "hw/system.h"
+
+#include "util/error.h"
+
+namespace optimus {
+
+long long
+System::totalDevices() const
+{
+    return static_cast<long long>(devicesPerNode) * numNodes;
+}
+
+const NetworkLink &
+System::linkForGroup(long long group_size) const
+{
+    checkConfig(group_size >= 1, "communication group must be non-empty");
+    return group_size <= devicesPerNode ? intraLink : interLink;
+}
+
+void
+System::validate() const
+{
+    device.validate();
+    checkPositive(static_cast<long long>(devicesPerNode),
+                  "devicesPerNode");
+    checkPositive(static_cast<long long>(numNodes), "numNodes");
+    intraLink.validate();
+    interLink.validate();
+}
+
+System
+makeSystem(Device device, int devices_per_node, int num_nodes,
+           NetworkLink intra, NetworkLink inter)
+{
+    System sys;
+    sys.device = std::move(device);
+    sys.devicesPerNode = devices_per_node;
+    sys.numNodes = num_nodes;
+    sys.intraLink = std::move(intra);
+    sys.interLink = std::move(inter);
+    sys.validate();
+    return sys;
+}
+
+} // namespace optimus

@@ -1,0 +1,249 @@
+#include "inference/engine.h"
+
+#include <algorithm>
+
+#include "memory/kv_cache.h"
+#include "util/error.h"
+#include "workload/graph.h"
+
+namespace optimus {
+
+namespace {
+
+/** Accumulate one op estimate into a phase report. */
+void
+accumulate(PhaseReport &phase, const Device &dev, const Op &op)
+{
+    KernelEstimate est = evaluateOp(dev, op);
+    phase.time += est.time;
+    phase.overheadTime += est.overhead;
+    if (!est.memTimePerLevel.empty())
+        phase.memoryTime += est.memTimePerLevel[0];
+    // Bound-type buckets include each kernel's launch overhead, as in
+    // the paper's per-kernel accounting (a 3 us per-head attention
+    // kernel is counted as memory-bound time even though its cost is
+    // launch-dominated).
+    if (op.kind == OpKind::Gemm ||
+        op.kind == OpKind::FusedAttention) {
+        if (est.computeBound())
+            phase.computeBoundGemmTime += est.time;
+        else
+            phase.memoryBoundGemmTime += est.time;
+    } else {
+        phase.otherKernelTime += est.time;
+    }
+}
+
+/** TP all-reduce time for one layer's two row-parallel outputs. */
+double
+layerCommTime(const System &sys, const InferenceOptions &opts,
+              double tokens, double hidden)
+{
+    if (opts.tensorParallel <= 1)
+        return 0.0;
+    double volume = tokens * hidden * precisionBytes(opts.precision);
+    CollectiveResult ar = systemCollective(
+        sys, CollectiveKind::AllReduce, volume, opts.tensorParallel,
+        GroupScope::IntraNode, opts.collectiveAlgorithm);
+    return 2.0 * ar.time;
+}
+
+} // namespace
+
+InferenceReport
+evaluateInference(const TransformerConfig &cfg, const System &sys,
+                  const InferenceOptions &opts)
+{
+    cfg.validate();
+    sys.validate();
+    checkPositive(opts.batch, "batch");
+    checkPositive(opts.promptLength, "promptLength");
+    checkPositive(opts.generateLength, "generateLength");
+    checkPositive(opts.tensorParallel, "tensorParallel");
+    checkPositive(opts.pipelineParallel, "pipelineParallel");
+    checkConfig(opts.tensorParallel * opts.pipelineParallel <=
+                    sys.totalDevices(),
+                "TP x PP exceeds system size");
+    checkConfig(cfg.numLayers % opts.pipelineParallel == 0,
+                "layers must divide by the PP degree");
+
+    const Device &dev = sys.device;
+    const long long L = cfg.numLayers;
+    InferenceReport rep;
+
+    // ---- Prefill (summarization) ------------------------------------
+    LayerGraphParams gp;
+    gp.batch = opts.batch;
+    gp.seq = opts.promptLength;
+    gp.tensorParallel = opts.tensorParallel;
+    gp.precision = opts.precision;
+    gp.training = false;
+    gp.flashAttention = opts.flashAttention;
+
+    PhaseReport layer_prefill;
+    for (const Op &op : layerForwardOps(cfg, gp))
+        accumulate(layer_prefill, dev, op);
+
+    rep.prefill.time = layer_prefill.time * L;
+    rep.prefill.computeBoundGemmTime =
+        layer_prefill.computeBoundGemmTime * L;
+    rep.prefill.memoryBoundGemmTime =
+        layer_prefill.memoryBoundGemmTime * L;
+    rep.prefill.otherKernelTime = layer_prefill.otherKernelTime * L;
+    rep.prefill.overheadTime = layer_prefill.overheadTime * L;
+    rep.prefill.memoryTime = layer_prefill.memoryTime * L;
+    rep.prefill.commTime =
+        layerCommTime(sys, opts,
+                      double(opts.batch) * opts.promptLength,
+                      double(cfg.hiddenSize)) * L;
+    rep.prefill.time += rep.prefill.commTime;
+
+    // First sampled token: the LM head runs once on the last position.
+    for (const Op &op : headOps(cfg, opts.batch, opts.tensorParallel,
+                                opts.precision))
+        accumulate(rep.prefill, dev, op);
+
+    // ---- Decode (auto-regressive generation) -------------------------
+    for (long long i = 0; i < opts.generateLength; ++i) {
+        long long context = opts.promptLength + i + 1;
+        PhaseReport step;
+        for (const Op &op : decodeLayerOps(cfg, opts.batch, context,
+                                           opts.tensorParallel,
+                                           opts.precision,
+                                           opts.kvPrecision))
+            accumulate(step, dev, op);
+
+        rep.decode.time += step.time * L;
+        rep.decode.computeBoundGemmTime +=
+            step.computeBoundGemmTime * L;
+        rep.decode.memoryBoundGemmTime +=
+            step.memoryBoundGemmTime * L;
+        rep.decode.otherKernelTime += step.otherKernelTime * L;
+        rep.decode.overheadTime += step.overheadTime * L;
+        rep.decode.memoryTime += step.memoryTime * L;
+
+        double comm = layerCommTime(sys, opts, double(opts.batch),
+                                    double(cfg.hiddenSize)) * L;
+        rep.decode.commTime += comm;
+        rep.decode.time += comm;
+
+        // Sampling head for this token.
+        PhaseReport head;
+        for (const Op &op : headOps(cfg, opts.batch,
+                                    opts.tensorParallel,
+                                    opts.precision))
+            accumulate(head, dev, op);
+        rep.decode.time += head.time;
+        rep.decode.memoryTime += head.memoryTime;
+        rep.decode.overheadTime += head.overheadTime;
+        if (head.computeBoundGemmTime > 0.0)
+            rep.decode.computeBoundGemmTime += head.computeBoundGemmTime;
+        rep.decode.memoryBoundGemmTime += head.memoryBoundGemmTime;
+        rep.decode.otherKernelTime += head.otherKernelTime;
+    }
+
+    // Pipeline-parallel stages add one activation hop per boundary:
+    // per prefill pass and per generated token.
+    if (opts.pipelineParallel > 1) {
+        GroupScope scope =
+            (opts.tensorParallel * opts.pipelineParallel >
+             sys.devicesPerNode)
+                ? GroupScope::InterNode
+                : GroupScope::IntraNode;
+        double hops = double(opts.pipelineParallel - 1);
+        double prefill_vol = double(opts.batch) * opts.promptLength *
+                             cfg.hiddenSize *
+                             precisionBytes(opts.precision);
+        double token_vol = double(opts.batch) * cfg.hiddenSize *
+                           precisionBytes(opts.precision);
+        double prefill_hop =
+            systemCollective(sys, CollectiveKind::PointToPoint,
+                             prefill_vol, 2, scope)
+                .time;
+        double token_hop =
+            systemCollective(sys, CollectiveKind::PointToPoint,
+                             token_vol, 2, scope)
+                .time;
+        rep.prefill.commTime += hops * prefill_hop;
+        rep.prefill.time += hops * prefill_hop;
+        double decode_comm = hops * token_hop *
+                             double(opts.generateLength);
+        rep.decode.commTime += decode_comm;
+        rep.decode.time += decode_comm;
+    }
+
+    rep.totalLatency = rep.prefill.time + rep.decode.time;
+
+    // ---- Memory accounting --------------------------------------------
+    long long final_ctx = opts.promptLength + opts.generateLength;
+    rep.kvCacheBytes = kvCacheBytes(cfg, opts.batch, final_ctx,
+                                    opts.kvPrecision);
+    rep.weightBytes = modelWeightBytes(cfg, opts.precision);
+    rep.fitsDeviceMemory =
+        (rep.weightBytes + rep.kvCacheBytes) /
+            double(opts.tensorParallel * opts.pipelineParallel) <=
+        dev.dram().capacity;
+    return rep;
+}
+
+namespace {
+
+std::vector<GemmBoundRow>
+gemmTable(const Device &dev, const std::vector<Op> &ops,
+          long long heads_local)
+{
+    std::vector<GemmBoundRow> rows;
+    for (const Op &op : ops) {
+        if (op.kind != OpKind::Gemm)
+            continue;
+        Op single = op;
+        // Attention-score GEMMs are reported per single head.
+        bool per_head = (op.name == "qk^T" || op.name == "attn-v") &&
+                        heads_local > 0;
+        if (per_head) {
+            single.count = std::max<long long>(
+                1, op.count / heads_local);
+            single.launchCount = 1;
+        }
+        KernelEstimate est = evaluateOp(dev, single);
+        GemmBoundRow row;
+        row.name = per_head ? "single-head " + op.name : op.name;
+        row.time = est.time;
+        row.boundType = est.boundName(dev);
+        row.flops = est.flops;
+        row.dramBytes = est.bytesPerLevel.empty() ? 0.0
+                                                  : est.bytesPerLevel[0];
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace
+
+std::vector<GemmBoundRow>
+prefillGemmTable(const Device &dev, const TransformerConfig &cfg,
+                 const InferenceOptions &opts)
+{
+    LayerGraphParams gp;
+    gp.batch = opts.batch;
+    gp.seq = opts.promptLength;
+    gp.tensorParallel = opts.tensorParallel;
+    gp.precision = opts.precision;
+    gp.training = false;
+    long long heads_local = cfg.numHeads / opts.tensorParallel;
+    return gemmTable(dev, layerForwardOps(cfg, gp), heads_local);
+}
+
+std::vector<GemmBoundRow>
+decodeGemmTable(const Device &dev, const TransformerConfig &cfg,
+                const InferenceOptions &opts, long long context)
+{
+    long long heads_local = cfg.numHeads / opts.tensorParallel;
+    return gemmTable(dev,
+                     decodeLayerOps(cfg, opts.batch, context,
+                                    opts.tensorParallel,
+                                    opts.precision, opts.kvPrecision),
+                     heads_local);
+}
+
+} // namespace optimus

@@ -1,0 +1,94 @@
+#include "parallel/config.h"
+
+#include "util/error.h"
+
+namespace optimus {
+
+const char *
+scheduleName(PipelineSchedule s)
+{
+    switch (s) {
+      case PipelineSchedule::GPipe: return "gpipe";
+      case PipelineSchedule::OneFOneB: return "1f1b";
+      case PipelineSchedule::Interleaved1F1B: return "interleaved";
+    }
+    throw ModelError("unknown pipeline schedule");
+}
+
+long long
+ParallelConfig::totalDevices() const
+{
+    return dataParallel * contextParallel * tensorParallel *
+           pipelineParallel;
+}
+
+std::string
+ParallelConfig::label() const
+{
+    return std::to_string(dataParallel) + "-" +
+           std::to_string(tensorParallel) + "-" +
+           std::to_string(pipelineParallel) + "-" +
+           std::to_string(sequenceParallel ? tensorParallel : 1);
+}
+
+long long
+ParallelConfig::microbatches(long long global_batch) const
+{
+    checkPositive(global_batch, "global batch");
+    long long per_pipeline = global_batch / dataParallel;
+    checkConfig(per_pipeline * dataParallel == global_batch,
+                "global batch must divide by DP degree");
+    long long m = per_pipeline / microbatchSize;
+    checkConfig(m * microbatchSize == per_pipeline,
+                "per-pipeline batch must divide by microbatch size");
+    return m;
+}
+
+void
+ParallelConfig::validate(const TransformerConfig &cfg, const System &sys,
+                         long long global_batch) const
+{
+    checkPositive(dataParallel, "dataParallel");
+    checkPositive(tensorParallel, "tensorParallel");
+    checkPositive(pipelineParallel, "pipelineParallel");
+    checkPositive(microbatchSize, "microbatchSize");
+    checkPositive(interleavedStages, "interleavedStages");
+    checkPositive(expertParallel, "expertParallel");
+    checkPositive(contextParallel, "contextParallel");
+
+    checkConfig(totalDevices() == sys.totalDevices(),
+                "mapping needs " + std::to_string(totalDevices()) +
+                " devices, system has " +
+                std::to_string(sys.totalDevices()));
+    checkConfig(tensorParallel <= sys.devicesPerNode,
+                "TP must fit within a node (Megatron convention)");
+    checkConfig(cfg.numHeads % tensorParallel == 0,
+                "attention heads must divide by TP degree");
+    checkConfig(cfg.ffnHidden % tensorParallel == 0,
+                "FFN width must divide by TP degree");
+
+    long long stages = pipelineParallel * interleavedStages;
+    checkConfig(cfg.numLayers % stages == 0,
+                "layers (" + std::to_string(cfg.numLayers) +
+                ") must divide by PP*interleave (" +
+                std::to_string(stages) + ")");
+
+    if (schedule != PipelineSchedule::Interleaved1F1B)
+        checkConfig(interleavedStages == 1,
+                    "interleavedStages > 1 requires the interleaved "
+                    "schedule");
+
+    if (expertParallel > 1) {
+        checkConfig(cfg.isMoe(),
+                    "expert parallelism requires a MoE model");
+        checkConfig(cfg.numExperts % expertParallel == 0,
+                    "experts must divide by the EP degree");
+        checkConfig(dataParallel % expertParallel == 0,
+                    "EP shards the data-parallel dimension; DP must "
+                    "divide by EP");
+    }
+
+    microbatches(global_batch);  // validates divisibility
+}
+
+} // namespace optimus

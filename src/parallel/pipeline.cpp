@@ -1,0 +1,54 @@
+#include "parallel/pipeline.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace optimus {
+
+PipelineCost
+pipelineCost(PipelineSchedule schedule, long long pp,
+             long long microbatches, long long v)
+{
+    checkPositive(pp, "pipeline stages");
+    checkPositive(microbatches, "microbatches");
+    checkPositive(v, "virtual stages");
+
+    PipelineCost cost;
+    const double p = double(pp);
+    const double m = double(microbatches);
+
+    if (pp == 1) {
+        cost.bubbleFraction = 0.0;
+        cost.inflightMicrobatches = (schedule == PipelineSchedule::GPipe)
+                                        ? m : 1.0;
+        cost.p2pPerMicrobatch = 0.0;
+        return cost;
+    }
+
+    switch (schedule) {
+      case PipelineSchedule::GPipe:
+        cost.bubbleFraction = (p - 1.0) / m;
+        // All microbatches' activations live until backward starts.
+        cost.inflightMicrobatches = m;
+        cost.p2pPerMicrobatch = 2.0;
+        break;
+      case PipelineSchedule::OneFOneB:
+        cost.bubbleFraction = (p - 1.0) / m;
+        // The first stage holds at most p microbatches.
+        cost.inflightMicrobatches = std::min(m, p);
+        cost.p2pPerMicrobatch = 2.0;
+        break;
+      case PipelineSchedule::Interleaved1F1B:
+        // Bubble shrinks by the virtual-stage count; communication
+        // grows with it (one send per virtual stage).
+        cost.bubbleFraction = (p - 1.0) / (m * double(v));
+        cost.inflightMicrobatches =
+            std::min(m, p) * (1.0 + (p - 1.0) / (p * double(v)));
+        cost.p2pPerMicrobatch = 2.0 * double(v);
+        break;
+    }
+    return cost;
+}
+
+} // namespace optimus

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pipeline-schedule cost model: bubble fractions and in-flight
+ * activation counts for GPipe, PipeDream-Flush (1F1B) and Megatron's
+ * interleaved 1F1B (paper Sec. 3.2).
+ */
+
+#ifndef OPTIMUS_PARALLEL_PIPELINE_H
+#define OPTIMUS_PARALLEL_PIPELINE_H
+
+#include "parallel/config.h"
+
+namespace optimus {
+
+/** Static cost properties of a pipeline schedule instance. */
+struct PipelineCost
+{
+    /**
+     * Idle (bubble) time as a fraction of the busy per-device time:
+     * total = busy * (1 + bubbleFraction).
+     */
+    double bubbleFraction = 0.0;
+
+    /**
+     * Peak number of microbatches whose activations are resident on
+     * the worst (first) stage.
+     */
+    double inflightMicrobatches = 1.0;
+
+    /**
+     * Point-to-point activations transfers per microbatch per stage
+     * boundary (forward + backward); the interleaved schedule sends
+     * once per virtual stage.
+     */
+    double p2pPerMicrobatch = 2.0;
+};
+
+/**
+ * Evaluate the schedule for @p pp stages, @p microbatches per batch
+ * and @p v virtual stages per device.
+ */
+PipelineCost pipelineCost(PipelineSchedule schedule, long long pp,
+                          long long microbatches, long long v);
+
+} // namespace optimus
+
+#endif // OPTIMUS_PARALLEL_PIPELINE_H

@@ -1,0 +1,180 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+
+#include "memory/footprint.h"
+#include "util/error.h"
+
+namespace optimus {
+
+namespace {
+
+/** Deepest interleaving for @p pp (one transformer layer per chunk). */
+long long
+deepestInterleave(const TransformerConfig &model, long long pp)
+{
+    return model.numLayers / pp;
+}
+
+} // namespace
+
+std::vector<TrainingPlan>
+planTraining(const TransformerConfig &model, const System &sys,
+             long long global_batch, const TrainingPlannerOptions &opts)
+{
+    model.validate();
+    sys.validate();
+    checkPositive(global_batch, "global batch");
+    checkConfig(!opts.recomputeChoices.empty(),
+                "planner needs at least one recompute choice");
+    checkConfig(!opts.microbatchSizes.empty(),
+                "planner needs at least one microbatch size");
+
+    std::vector<TrainingPlan> plans;
+
+    for (long long tp = 1; tp <= sys.devicesPerNode; tp *= 2) {
+        if (model.numHeads % tp != 0 || model.ffnHidden % tp != 0)
+            continue;
+        for (long long pp = 1;
+             tp * pp <= sys.totalDevices() && pp <= model.numLayers;
+             pp *= 2) {
+            if (model.numLayers % pp != 0)
+                continue;
+            long long dp = sys.totalDevices() / (tp * pp);
+            if (dp * tp * pp != sys.totalDevices() ||
+                global_batch % dp != 0)
+                continue;
+
+            std::vector<long long> interleaves = {1};
+            if (opts.tryInterleaving && pp > 1) {
+                long long v = deepestInterleave(model, pp);
+                if (v > 1)
+                    interleaves.push_back(v);
+            }
+
+            for (long long micro : opts.microbatchSizes) {
+                if ((global_batch / dp) % micro != 0)
+                    continue;
+                for (long long v : interleaves) {
+                    for (Recompute r : opts.recomputeChoices) {
+                        for (int zero : opts.zeroStages) {
+                            ParallelConfig par;
+                            par.dataParallel = dp;
+                            par.tensorParallel = tp;
+                            par.pipelineParallel = pp;
+                            par.sequenceParallel =
+                                opts.allowSequenceParallel && tp > 1;
+                            par.microbatchSize = micro;
+                            if (v > 1) {
+                                par.schedule =
+                                    PipelineSchedule::Interleaved1F1B;
+                                par.interleavedStages = v;
+                            }
+
+                            TrainingOptions topts;
+                            topts.precision = opts.precision;
+                            topts.seqLength = opts.seqLength;
+                            topts.recompute = r;
+                            topts.flashAttention =
+                                opts.flashAttention;
+                            topts.memory.flashAttention =
+                                opts.flashAttention;
+                            topts.memory.zeroStage = zero;
+                            topts.memory.activationBytes = std::max(
+                                1.0,
+                                precisionBytes(opts.precision));
+
+                            TrainingMemory mem =
+                                trainingMemoryPerDevice(
+                                    model, par, global_batch,
+                                    opts.seqLength, r, topts.memory);
+                            if (mem.total() >
+                                sys.device.dram().capacity)
+                                continue;
+
+                            TrainingPlan plan;
+                            plan.parallel = par;
+                            plan.options = topts;
+                            plan.report = evaluateTraining(
+                                model, sys, par, global_batch,
+                                topts);
+                            plans.push_back(std::move(plan));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    std::sort(plans.begin(), plans.end(),
+              [](const TrainingPlan &a, const TrainingPlan &b) {
+                  return a.report.timePerBatch <
+                         b.report.timePerBatch;
+              });
+    if (plans.size() > opts.keep)
+        plans.resize(opts.keep);
+    return plans;
+}
+
+TrainingPlan
+bestTrainingPlan(const TransformerConfig &model, const System &sys,
+                 long long global_batch,
+                 const TrainingPlannerOptions &opts)
+{
+    std::vector<TrainingPlan> plans =
+        planTraining(model, sys, global_batch, opts);
+    checkConfig(!plans.empty(),
+                "no parallelization of " + model.name + " fits " +
+                    sys.device.name + " memory at batch " +
+                    std::to_string(global_batch));
+    return plans.front();
+}
+
+std::vector<ServingPlan>
+planServing(const TransformerConfig &model, const System &sys,
+            const ServingPlannerOptions &opts)
+{
+    model.validate();
+    sys.validate();
+    checkPositive(opts.maxBatch, "maxBatch");
+
+    std::vector<ServingPlan> plans;
+    for (long long tp : opts.tensorParallelChoices) {
+        if (tp > sys.totalDevices() || model.numHeads % tp != 0 ||
+            model.ffnHidden % tp != 0)
+            continue;
+        ServingOptions sopts = opts.serving;
+        sopts.tensorParallel = tp;
+
+        ServingPlan best;
+        bool any = false;
+        for (long long b = 1; b <= opts.maxBatch; b *= 2) {
+            ServingPoint pt =
+                evaluateServingPoint(model, sys, sopts, b);
+            if (!pt.fits)
+                break;
+            if (opts.maxInterTokenLatency > 0.0 &&
+                pt.interTokenLatency > opts.maxInterTokenLatency)
+                break;  // latency grows with batch: stop here
+            if (!any ||
+                pt.tokensPerSecond > best.point.tokensPerSecond) {
+                best.tensorParallel = tp;
+                best.point = pt;
+                best.tokensPerSecondPerDevice =
+                    pt.tokensPerSecond / double(tp);
+                any = true;
+            }
+        }
+        if (any)
+            plans.push_back(best);
+    }
+
+    std::sort(plans.begin(), plans.end(),
+              [](const ServingPlan &a, const ServingPlan &b) {
+                  return a.tokensPerSecondPerDevice >
+                         b.tokensPerSecondPerDevice;
+              });
+    return plans;
+}
+
+} // namespace optimus

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parallelization planner: enumerate valid DP/TP/PP/SP/EP mappings,
+ * recomputation and interleaving choices for a model on a system,
+ * discard those that overflow device memory, and rank the rest by
+ * predicted performance — automating the workflow the paper's
+ * Sec. 5.1 describes ("determine the best parallelism mapping or
+ * training settings for an LLM model on a certain hardware system").
+ */
+
+#ifndef OPTIMUS_PLANNER_PLANNER_H
+#define OPTIMUS_PLANNER_PLANNER_H
+
+#include <vector>
+
+#include "inference/serving.h"
+#include "training/trainer.h"
+
+namespace optimus {
+
+/** Search-space switches for the training planner. */
+struct TrainingPlannerOptions
+{
+    long long seqLength = 2048;
+    Precision precision = Precision::FP16;
+    bool allowSequenceParallel = true;
+    bool flashAttention = false;
+    std::vector<Recompute> recomputeChoices = {
+        Recompute::None, Recompute::Selective, Recompute::Full};
+    std::vector<int> zeroStages = {0};
+    std::vector<long long> microbatchSizes = {1};
+    /** Also try the deepest valid interleaving for each PP degree. */
+    bool tryInterleaving = true;
+    /** Keep at most this many ranked plans. */
+    size_t keep = 10;
+};
+
+/** One viable plan with its predicted outcome. */
+struct TrainingPlan
+{
+    ParallelConfig parallel;
+    TrainingOptions options;
+    TrainingReport report;
+};
+
+/**
+ * Enumerate and rank training plans (fastest first). Returns an empty
+ * vector when nothing fits device memory.
+ */
+std::vector<TrainingPlan> planTraining(
+    const TransformerConfig &model, const System &sys,
+    long long global_batch, const TrainingPlannerOptions &opts = {});
+
+/** The fastest fitting plan; throws ConfigError when none fits. */
+TrainingPlan bestTrainingPlan(const TransformerConfig &model,
+                              const System &sys, long long global_batch,
+                              const TrainingPlannerOptions &opts = {});
+
+/** Search-space switches for the serving planner. */
+struct ServingPlannerOptions
+{
+    ServingOptions serving;           ///< prompt/generate/precision
+    double maxInterTokenLatency = 0.0; ///< SLO seconds; 0 = unlimited
+    long long maxBatch = 256;
+    std::vector<long long> tensorParallelChoices = {1, 2, 4, 8};
+};
+
+/** One viable serving deployment. */
+struct ServingPlan
+{
+    long long tensorParallel = 1;
+    ServingPoint point;
+    /** Generated tokens per second per device (cost efficiency). */
+    double tokensPerSecondPerDevice = 0.0;
+};
+
+/**
+ * Rank serving deployments meeting the latency SLO by per-device
+ * throughput (best first). Empty when the model fits nowhere.
+ */
+std::vector<ServingPlan> planServing(const TransformerConfig &model,
+                                     const System &sys,
+                                     const ServingPlannerOptions &opts);
+
+} // namespace optimus
+
+#endif // OPTIMUS_PLANNER_PLANNER_H

@@ -1,0 +1,62 @@
+#include "roofline/estimate.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace optimus {
+
+void
+finalizeEstimate(KernelEstimate &est)
+{
+    checkConfig(est.bytesPerLevel.size() == est.memTimePerLevel.size(),
+                "estimate has inconsistent per-level vectors");
+    double worst = est.computeTime;
+    est.boundLevel = -1;
+    for (size_t i = 0; i < est.memTimePerLevel.size(); ++i) {
+        if (est.memTimePerLevel[i] > worst) {
+            worst = est.memTimePerLevel[i];
+            est.boundLevel = static_cast<int>(i);
+        }
+    }
+    est.time = worst + est.overhead;
+}
+
+KernelEstimate
+combineEstimates(const std::string &label, const KernelEstimate &a,
+                 const KernelEstimate &b)
+{
+    KernelEstimate out;
+    out.kernel = label;
+    out.flops = a.flops + b.flops;
+    size_t levels = std::max(a.bytesPerLevel.size(),
+                             b.bytesPerLevel.size());
+    out.bytesPerLevel.assign(levels, 0.0);
+    out.memTimePerLevel.assign(levels, 0.0);
+    for (size_t i = 0; i < levels; ++i) {
+        if (i < a.bytesPerLevel.size()) {
+            out.bytesPerLevel[i] += a.bytesPerLevel[i];
+            out.memTimePerLevel[i] += a.memTimePerLevel[i];
+        }
+        if (i < b.bytesPerLevel.size()) {
+            out.bytesPerLevel[i] += b.bytesPerLevel[i];
+            out.memTimePerLevel[i] += b.memTimePerLevel[i];
+        }
+    }
+    out.computeTime = a.computeTime + b.computeTime;
+    out.overhead = a.overhead + b.overhead;
+    // Aggregate time is additive (kernels run back to back); the bound
+    // label reports the largest aggregated component.
+    out.time = a.time + b.time;
+    double worst = out.computeTime;
+    out.boundLevel = -1;
+    for (size_t i = 0; i < out.memTimePerLevel.size(); ++i) {
+        if (out.memTimePerLevel[i] > worst) {
+            worst = out.memTimePerLevel[i];
+            out.boundLevel = static_cast<int>(i);
+        }
+    }
+    return out;
+}
+
+} // namespace optimus

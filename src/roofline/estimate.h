@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Kernel-level performance estimate returned by the roofline engines.
+ *
+ * Every kernel (GEMM, GEMV, stream op, collective) is summarized by
+ * its FLOP count, per-memory-level traffic, per-resource times, and
+ * the resource that binds it — the quantity Tables 4 and Figs. 7/8 of
+ * the paper report.
+ */
+
+#ifndef OPTIMUS_ROOFLINE_ESTIMATE_H
+#define OPTIMUS_ROOFLINE_ESTIMATE_H
+
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+
+namespace optimus {
+
+/**
+ * Result of evaluating one kernel on one device.
+ *
+ * boundLevel identifies the binding resource: -1 means compute-bound,
+ * a non-negative value indexes Device::mem (0 = DRAM-bound, 1 =
+ * L2-bound, ...).
+ */
+struct KernelEstimate
+{
+    std::string kernel;               ///< label, e.g. "QK^T"
+    double flops = 0.0;               ///< arithmetic work
+    std::vector<double> bytesPerLevel; ///< traffic per memory level
+    double computeTime = 0.0;         ///< FLOPs / effective throughput
+    std::vector<double> memTimePerLevel; ///< per-level transfer time
+    double overhead = 0.0;            ///< kernel-launch overhead
+    double time = 0.0;                ///< total = max(...) + overhead
+    int boundLevel = -1;              ///< -1 compute, else mem index
+
+    /** True when the kernel is bound by arithmetic throughput. */
+    bool computeBound() const { return boundLevel < 0; }
+
+    /** True when bound specifically by DRAM bandwidth. */
+    bool dramBound() const { return boundLevel == 0; }
+
+    /** Name of the binding resource ("compute", "DRAM", "L2", ...). */
+    std::string
+    boundName(const Device &dev) const
+    {
+        if (boundLevel < 0)
+            return "compute";
+        return dev.mem.at(static_cast<size_t>(boundLevel)).name;
+    }
+
+    /** Arithmetic intensity against DRAM traffic (FLOP/byte). */
+    double
+    dramIntensity() const
+    {
+        if (bytesPerLevel.empty() || bytesPerLevel[0] == 0.0)
+            return 0.0;
+        return flops / bytesPerLevel[0];
+    }
+};
+
+/**
+ * Pick the binding resource and fill time/boundLevel from the
+ * component times already stored in @p est.
+ */
+void finalizeEstimate(KernelEstimate &est);
+
+/** Sum of two estimates (used to aggregate kernels into phases). */
+KernelEstimate combineEstimates(const std::string &label,
+                                const KernelEstimate &a,
+                                const KernelEstimate &b);
+
+} // namespace optimus
+
+#endif // OPTIMUS_ROOFLINE_ESTIMATE_H

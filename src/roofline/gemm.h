@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Hierarchical roofline model for dense matrix multiplication.
+ *
+ * Follows the DeepFlow approach the paper builds on (Sec. 3.1): for
+ * each cache level a capacity-constrained tile search determines the
+ * traffic that must cross to the next (outer) memory level; the kernel
+ * time is the maximum of the compute time and every per-level transfer
+ * time. Skinny GEMMs (auto-regressive inference) additionally apply
+ * the DRAM bandwidth-utilization factor of Sec. 4.1.
+ */
+
+#ifndef OPTIMUS_ROOFLINE_GEMM_H
+#define OPTIMUS_ROOFLINE_GEMM_H
+
+#include <string>
+
+#include "hw/device.h"
+#include "roofline/estimate.h"
+
+namespace optimus {
+
+/** Problem shape for C[m,n] = A[m,k] * B[k,n]. */
+struct GemmShape
+{
+    long long m = 1;
+    long long n = 1;
+    long long k = 1;
+    Precision precision = Precision::FP16;
+};
+
+/** Tuning switches for the GEMM estimator. */
+struct GemmOptions
+{
+    /** Use the matrix engine (tensor cores) vs the vector units. */
+    bool matrixEngine = true;
+
+    /**
+     * Count kernel launch overhead. Callers fusing several logical
+     * GEMMs into one launch disable this on all but the first.
+     */
+    bool launchOverhead = true;
+
+    /**
+     * Threshold on min(m, n) below which the GEMM is treated as
+     * skinny and the GEMV DRAM-utilization factor applies.
+     */
+    long long skinnyThreshold = 32;
+};
+
+/** Chosen tile for one cache level (elements, not bytes). */
+struct TileChoice
+{
+    long long tm = 0;
+    long long tn = 0;
+    long long tk = 0;
+    double traffic = 0.0;  ///< bytes crossing to the outer level
+};
+
+/**
+ * Tile search for one cache level: choose (tm, tn, tk) whose working
+ * set fits @p capacity_bytes (with a fill factor for double
+ * buffering) and that minimizes traffic to the outer memory level.
+ *
+ * Traffic model for C = A*B with tiles (tm, tn, tk):
+ *   bytes = elem * (m*k*ceil(n/tn) + k*n*ceil(m/tm) + 2*m*n)
+ * i.e. A is re-read once per column block, B once per row block, and
+ * C is read+written once.
+ */
+TileChoice searchTile(const GemmShape &shape, double capacity_bytes,
+                      double fill_factor = 0.5);
+
+/**
+ * Estimate a GEMM on @p dev.
+ *
+ * @param dev     target device
+ * @param shape   problem shape
+ * @param label   kernel label carried into the estimate
+ * @param opts    tuning switches
+ */
+KernelEstimate estimateGemm(const Device &dev, const GemmShape &shape,
+                            const std::string &label = "gemm",
+                            const GemmOptions &opts = {});
+
+/**
+ * Shape-quantization efficiency: the fraction of issued tensor-core
+ * work that is useful when m/n/k are not multiples of the hardware
+ * macro tile.
+ */
+double shapeEfficiency(const GemmShape &shape);
+
+} // namespace optimus
+
+#endif // OPTIMUS_ROOFLINE_GEMM_H

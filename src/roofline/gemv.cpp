@@ -1,0 +1,53 @@
+#include "roofline/gemv.h"
+
+#include "util/error.h"
+
+namespace optimus {
+
+double
+GemvUtilizationCurve::utilization(double dram_bytes) const
+{
+    checkConfig(dram_bytes >= 0.0, "gemv traffic must be non-negative");
+    if (dram_bytes == 0.0)
+        return maxUtilization;
+    return maxUtilization * dram_bytes / (dram_bytes + halfVolume);
+}
+
+KernelEstimate
+estimateGemv(const Device &dev, long long m, long long k,
+             Precision precision, const std::string &label,
+             GemvUtilMode mode, const GemvUtilizationCurve &curve)
+{
+    checkPositive(m, "gemv m");
+    checkPositive(k, "gemv k");
+
+    const double elem = precisionBytes(precision);
+
+    KernelEstimate est;
+    est.kernel = label;
+    est.flops = 2.0 * double(m) * double(k);
+
+    // The matrix dominates traffic; the vectors stream once.
+    double dram_bytes = elem * (double(m) * double(k) + double(k) +
+                                double(m));
+
+    double util = (mode == GemvUtilMode::Constant)
+                      ? dev.gemvDramUtilization
+                      : curve.utilization(dram_bytes);
+
+    est.bytesPerLevel.assign(dev.mem.size(), 0.0);
+    est.memTimePerLevel.assign(dev.mem.size(), 0.0);
+    est.bytesPerLevel[0] = dram_bytes;
+    est.memTimePerLevel[0] =
+        dram_bytes / (dev.dram().bandwidth * util);
+
+    // GEMV runs on the vector units; it is never compute-bound on a
+    // GPU-class device but the term keeps custom designs honest.
+    est.computeTime = est.flops / dev.vectorFlops(precision);
+
+    est.overhead = dev.kernelLaunchOverhead;
+    finalizeEstimate(est);
+    return est;
+}
+
+} // namespace optimus

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * GEMV (matrix-vector) estimator with DRAM bandwidth-utilization
+ * factors (paper Sec. 4.1 / Fig. 3).
+ *
+ * GEMV kernels move small data volumes, so DRAM bandwidth is
+ * underutilized; the achievable fraction depends on the matrix size.
+ * The paper profiles A100 kernels, clusters the measured utilization
+ * factors, and also offers a simplified constant factor. Both model
+ * variants are implemented here; the clustered (size-dependent) curve
+ * doubles as the measurement proxy in our hardware-free reproduction
+ * of Fig. 3 (see DESIGN.md, Substitutions).
+ */
+
+#ifndef OPTIMUS_ROOFLINE_GEMV_H
+#define OPTIMUS_ROOFLINE_GEMV_H
+
+#include <string>
+
+#include "hw/device.h"
+#include "roofline/estimate.h"
+
+namespace optimus {
+
+/** Which DRAM-utilization model a GEMV estimate uses. */
+enum class GemvUtilMode {
+    Constant,   ///< single factor for all kernels (simplified)
+    Clustered,  ///< size-dependent factor (profiled / proxy)
+};
+
+/**
+ * Size-dependent DRAM-utilization curve fitted per device family:
+ *   u(V) = maxUtilization * V / (V + halfVolume)
+ * where V is the kernel's DRAM traffic in bytes.
+ */
+struct GemvUtilizationCurve
+{
+    double maxUtilization = 0.80;
+    double halfVolume = 2.0e6;
+
+    double utilization(double dram_bytes) const;
+};
+
+/**
+ * Estimate y[m] = A[m,k] x[k] on @p dev.
+ *
+ * @param mode      utilization model variant
+ * @param curve     curve used in Clustered mode
+ */
+KernelEstimate estimateGemv(const Device &dev, long long m, long long k,
+                            Precision precision,
+                            const std::string &label = "gemv",
+                            GemvUtilMode mode = GemvUtilMode::Constant,
+                            const GemvUtilizationCurve &curve = {});
+
+} // namespace optimus
+
+#endif // OPTIMUS_ROOFLINE_GEMV_H

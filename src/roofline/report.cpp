@@ -1,0 +1,59 @@
+#include "roofline/report.h"
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace optimus {
+
+RooflineCeilings
+rooflineCeilings(const Device &dev, Precision precision)
+{
+    RooflineCeilings c;
+    c.peakFlops = dev.supportsMatrix(precision)
+                      ? dev.matrixFlops(precision) *
+                            dev.matrixMaxEfficiency
+                      : dev.vectorFlops(precision);
+    c.dramBandwidth = dev.dram().bandwidth * dev.dram().utilization;
+    c.ridgeIntensity = c.peakFlops / c.dramBandwidth;
+    return c;
+}
+
+std::vector<RooflinePoint>
+rooflinePoints(const Device &dev, const std::vector<Op> &ops)
+{
+    std::vector<RooflinePoint> out;
+    out.reserve(ops.size());
+    for (const Op &op : ops) {
+        KernelEstimate est = evaluateOp(dev, op);
+        RooflinePoint pt;
+        pt.name = op.name;
+        pt.time = est.time;
+        pt.intensity = est.dramIntensity();
+        pt.achieved = est.time > 0.0 ? est.flops / est.time : 0.0;
+        pt.bound = est.boundName(dev);
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+Table
+rooflineTable(const Device &dev, Precision precision,
+              const std::vector<Op> &ops)
+{
+    RooflineCeilings c = rooflineCeilings(dev, precision);
+    Table t({"op", "intensity (F/B)", "achieved (GFLOP/s)",
+             "% of peak", "time (us)", "bound"});
+    for (const RooflinePoint &pt : rooflinePoints(dev, ops)) {
+        t.beginRow()
+            .cell(pt.name)
+            .cell(pt.intensity, 1)
+            .cell(pt.achieved / GFLOPS, 1)
+            .cell(100.0 * pt.achieved / c.peakFlops, 1)
+            .cell(pt.time * 1e6, 2)
+            .cell(pt.bound);
+        t.endRow();
+    }
+    return t;
+}
+
+} // namespace optimus

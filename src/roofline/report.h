@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Roofline-plot data exporter.
+ *
+ * The paper's analysis style (Secs. 1.2, 6.1, ref. [37]) is the
+ * classic roofline: operations plotted as (arithmetic intensity,
+ * achieved throughput) against the device's compute and bandwidth
+ * ceilings. This module produces that data as a table/CSV so any
+ * plotting tool can render the figure.
+ */
+
+#ifndef OPTIMUS_ROOFLINE_REPORT_H
+#define OPTIMUS_ROOFLINE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "hw/device.h"
+#include "util/table.h"
+#include "workload/graph.h"
+
+namespace optimus {
+
+/** One plotted operation. */
+struct RooflinePoint
+{
+    std::string name;
+    double intensity = 0.0;     ///< FLOP per DRAM byte
+    double achieved = 0.0;      ///< FLOP/s = flops / time
+    double time = 0.0;          ///< seconds
+    std::string bound;          ///< binding resource
+};
+
+/** The device's ceilings for the plot. */
+struct RooflineCeilings
+{
+    double peakFlops = 0.0;          ///< matrix engine at ceiling
+    double dramBandwidth = 0.0;      ///< effective DRAM B/s
+    double ridgeIntensity = 0.0;     ///< peak / bandwidth crossover
+};
+
+/** Ceilings of @p dev for @p precision. */
+RooflineCeilings rooflineCeilings(const Device &dev,
+                                  Precision precision);
+
+/** Evaluate @p ops on @p dev into plot points. */
+std::vector<RooflinePoint> rooflinePoints(const Device &dev,
+                                          const std::vector<Op> &ops);
+
+/**
+ * Render points + ceilings into a table (columns: op, intensity,
+ * achieved GFLOP/s, % of peak, time, bound).
+ */
+Table rooflineTable(const Device &dev, Precision precision,
+                    const std::vector<Op> &ops);
+
+} // namespace optimus
+
+#endif // OPTIMUS_ROOFLINE_REPORT_H

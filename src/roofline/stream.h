@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Streaming (memory-bound) kernel estimator for normalization and
+ * element-wise operations: softmax, layer-norm, dropout, GELU,
+ * residual adds, bias adds (paper Sec. 1.2: these are generally
+ * memory-bound; kernel fusion raises their arithmetic intensity).
+ */
+
+#ifndef OPTIMUS_ROOFLINE_STREAM_H
+#define OPTIMUS_ROOFLINE_STREAM_H
+
+#include <string>
+
+#include "hw/device.h"
+#include "roofline/estimate.h"
+
+namespace optimus {
+
+/**
+ * Estimate a streaming kernel that moves @p bytes through DRAM and
+ * performs @p flops vector operations.
+ *
+ * @param launch  whether to charge a kernel-launch overhead (disabled
+ *                for ops fused into a neighbouring kernel)
+ */
+KernelEstimate estimateStream(const Device &dev, const std::string &label,
+                              double bytes, double flops,
+                              Precision precision, bool launch = true);
+
+/** Softmax over @p rows rows of @p cols elements (read + write). */
+KernelEstimate estimateSoftmax(const Device &dev, double rows,
+                               double cols, Precision precision);
+
+/** Layer-norm over @p rows rows of @p cols elements. */
+KernelEstimate estimateLayerNorm(const Device &dev, double rows,
+                                 double cols, Precision precision);
+
+/** Element-wise op (GELU/dropout/residual) on @p elements values. */
+KernelEstimate estimateElementwise(const Device &dev,
+                                   const std::string &label,
+                                   double elements, double flops_per_elem,
+                                   Precision precision,
+                                   bool launch = true);
+
+} // namespace optimus
+
+#endif // OPTIMUS_ROOFLINE_STREAM_H

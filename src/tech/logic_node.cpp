@@ -1,0 +1,46 @@
+#include "tech/logic_node.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace optimus {
+
+namespace {
+
+std::vector<LogicNode>
+buildNodes()
+{
+    const char *names[] = {"N12", "N10", "N7", "N5", "N3", "N2", "N1"};
+    std::vector<LogicNode> nodes;
+    for (int i = 0; i < 7; ++i) {
+        LogicNode n;
+        n.name = names[i];
+        n.index = i;
+        n.densityScale = std::pow(kAreaScalePerNode, i);
+        n.efficiencyScale = std::pow(kPowerScalePerNode, i);
+        n.sramDensityScale = std::pow(kSramScalePerNode, i);
+        nodes.push_back(n);
+    }
+    return nodes;
+}
+
+} // namespace
+
+const std::vector<LogicNode> &
+logicNodes()
+{
+    static const std::vector<LogicNode> nodes = buildNodes();
+    return nodes;
+}
+
+const LogicNode &
+logicNode(const std::string &name)
+{
+    for (const LogicNode &n : logicNodes())
+        if (n.name == name)
+            return n;
+    throw ConfigError("unknown logic node: " + name);
+}
+
+} // namespace optimus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Logic technology node table, N12 through N1 (paper Sec. 5.3).
+ *
+ * The paper follows the iso-performance scaling assumption it cites
+ * (DeepFlow / Stillmaker-Baas): between consecutive nodes, transistor
+ * density improves 1.8x and power per operation improves 1.3x. The
+ * table is anchored at N7 = A100-class silicon.
+ */
+
+#ifndef OPTIMUS_TECH_LOGIC_NODE_H
+#define OPTIMUS_TECH_LOGIC_NODE_H
+
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+/** One manufacturing process generation. */
+struct LogicNode
+{
+    std::string name;      ///< "N12" ... "N1"
+    int index = 0;         ///< steps after N12
+
+    /** Compute density relative to N12, FLOPS/mm^2 multiplier. */
+    double densityScale = 1.0;
+
+    /** Energy efficiency relative to N12, FLOPS/W multiplier. */
+    double efficiencyScale = 1.0;
+
+    /** SRAM density relative to N12, bytes/mm^2 multiplier. */
+    double sramDensityScale = 1.0;
+};
+
+/** Area density improvement per node step. */
+constexpr double kAreaScalePerNode = 1.8;
+/** Power efficiency improvement per node step. */
+constexpr double kPowerScalePerNode = 1.3;
+/** SRAM scales slower than logic in advanced nodes. */
+constexpr double kSramScalePerNode = 1.4;
+
+/** The seven explored nodes: N12, N10, N7, N5, N3, N2, N1. */
+const std::vector<LogicNode> &logicNodes();
+
+/** Lookup by name; throws ConfigError if unknown. */
+const LogicNode &logicNode(const std::string &name);
+
+} // namespace optimus
+
+#endif // OPTIMUS_TECH_LOGIC_NODE_H

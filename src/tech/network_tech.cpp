@@ -1,0 +1,51 @@
+#include "tech/network_tech.h"
+
+#include "hw/presets.h"
+#include "util/units.h"
+
+namespace optimus {
+namespace nettech {
+
+NetworkLink
+ndrX8()
+{
+    return {"NDR-x8", 100 * GBps, 5.0 * usec, 8.0e5, 0.85,
+            20.0 * usec};
+}
+
+NetworkLink
+xdrX8()
+{
+    return {"XDR-x8", 200 * GBps, 5.0 * usec, 8.0e5, 0.85,
+            20.0 * usec};
+}
+
+NetworkLink
+gdrX8()
+{
+    return {"GDR-x8", 400 * GBps, 5.0 * usec, 8.0e5, 0.85,
+            20.0 * usec};
+}
+
+const std::vector<NetworkLink> &
+scalingSweep()
+{
+    static const std::vector<NetworkLink> sweep = {ndrX8(), xdrX8(),
+                                                   gdrX8()};
+    return sweep;
+}
+
+NetworkLink
+nvlinkGen3()
+{
+    return presets::nvlink3();
+}
+
+NetworkLink
+nvlinkGen4()
+{
+    return presets::nvlink4();
+}
+
+} // namespace nettech
+} // namespace optimus

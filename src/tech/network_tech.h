@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Inter-node network technology table for the node-scaling study
+ * (paper Sec. 5.3 / Fig. 6): NDR-x8 (100 GB/s), XDR-x8 (200 GB/s) and
+ * GDR-x8 (400 GB/s) InfiniBand per-node rates.
+ */
+
+#ifndef OPTIMUS_TECH_NETWORK_TECH_H
+#define OPTIMUS_TECH_NETWORK_TECH_H
+
+#include <vector>
+
+#include "hw/network.h"
+
+namespace optimus {
+namespace nettech {
+
+NetworkLink ndrX8();  ///< 100 GB/s per node
+NetworkLink xdrX8();  ///< 200 GB/s per node
+NetworkLink gdrX8();  ///< 400 GB/s per node
+
+/** The Fig. 6 sweep: NDR-x8, XDR-x8, GDR-x8. */
+const std::vector<NetworkLink> &scalingSweep();
+
+/** NVLink gen3 / gen4 intra-node links (Fig. 9's NV3 / NV4). */
+NetworkLink nvlinkGen3();
+NetworkLink nvlinkGen4();
+
+} // namespace nettech
+} // namespace optimus
+
+#endif // OPTIMUS_TECH_NETWORK_TECH_H

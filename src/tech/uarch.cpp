@@ -1,0 +1,101 @@
+#include "tech/uarch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace optimus {
+
+void
+UArchAllocation::validate() const
+{
+    checkConfig(computeAreaFraction > 0.0 && computeAreaFraction < 1.0,
+                "computeAreaFraction must be in (0,1)");
+    checkConfig(computePowerFraction > 0.0 && computePowerFraction < 1.0,
+                "computePowerFraction must be in (0,1)");
+}
+
+UArchCalibration
+UArchCalibration::a100Anchor()
+{
+    // A100: 312 TFLOPS fp16, 826 mm^2, 400 W, at N7 (index 2), with
+    // the default allocation (55% area / 70% power to compute) and
+    // 60 MiB of on-chip SRAM (40 MiB L2 + ~20 MiB shared memory).
+    UArchCalibration cal;
+    const double n7_density = std::pow(kAreaScalePerNode, 2);
+    const double n7_power = std::pow(kPowerScalePerNode, 2);
+    const double n7_sram = std::pow(kSramScalePerNode, 2);
+
+    cal.flopsPerMm2 = 312 * TFLOPS / (826.0 * 0.55) / n7_density;
+    cal.flopsPerWatt = 312 * TFLOPS / (400.0 * 0.70) / n7_power;
+    cal.sramBytesPerMm2 = 60 * MiB / (826.0 * 0.45) / n7_sram;
+    cal.l2BwPerByte = 5.5 * TBps / (40 * MiB) / n7_power;
+    return cal;
+}
+
+Device
+buildDevice(const TechConfig &tech, const UArchAllocation &alloc,
+            const UArchCalibration &cal)
+{
+    alloc.validate();
+    checkPositive(tech.areaBudget, "areaBudget");
+    checkPositive(tech.powerBudget, "powerBudget");
+
+    const LogicNode &node = tech.node;
+
+    // Compute throughput: limited by whichever budget binds.
+    double area_limited = tech.areaBudget * alloc.computeAreaFraction *
+                          cal.flopsPerMm2 * node.densityScale;
+    double power_limited = tech.powerBudget *
+                           alloc.computePowerFraction *
+                           cal.flopsPerWatt * node.efficiencyScale;
+    double fp16 = std::min(area_limited, power_limited);
+
+    // On-chip SRAM from the remaining area: 2/3 L2, 1/3 scratch.
+    double sram_bytes = tech.areaBudget *
+                        (1.0 - alloc.computeAreaFraction) *
+                        cal.sramBytesPerMm2 * node.sramDensityScale;
+    double l2_cap = sram_bytes * (2.0 / 3.0);
+    double smem_cap = sram_bytes / 3.0;
+    double l2_bw = l2_cap * cal.l2BwPerByte * node.efficiencyScale;
+    double smem_bw = l2_bw * 3.45;
+
+    Device d;
+    d.name = "DSE-" + node.name + "-" + tech.dram.name;
+    d.matrixThroughput = {
+        {Precision::TF32, fp16 / 2.0},
+        {Precision::FP16, fp16},
+        {Precision::BF16, fp16},
+        {Precision::FP8, fp16 * 2.0},
+        {Precision::INT8, fp16 * 2.0},
+    };
+    d.vectorThroughput = {
+        {Precision::FP32, fp16 / 16.0},
+        {Precision::FP16, fp16 / 8.0},
+        {Precision::BF16, fp16 / 8.0},
+    };
+    d.mem = {
+        {"DRAM", tech.dram.capacity, tech.dram.bandwidth, 0.85},
+        {"L2", l2_cap, l2_bw, 0.80},
+        {"SMEM", smem_cap, smem_bw, 0.80},
+    };
+    d.matrixMaxEfficiency = 0.85;
+    d.gemvDramUtilization = 0.75;
+    d.kernelLaunchOverhead = 3.0e-6;
+    d.validate();
+    return d;
+}
+
+System
+buildSystem(const TechConfig &tech, const UArchAllocation &alloc,
+            int devices_per_node, int num_nodes,
+            const NetworkLink &intra, const NetworkLink &inter,
+            const UArchCalibration &cal)
+{
+    return makeSystem(buildDevice(tech, alloc, cal), devices_per_node,
+                      num_nodes, intra, inter);
+}
+
+} // namespace optimus

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Micro-architecture engine: synthesizes a Device from technology
+ * parameters and a resource allocation (paper Secs. 3.1, 3.6).
+ *
+ * The engine is anchored at a 7 nm A100-class design (826 mm^2,
+ * 400 W): compute density, energy efficiency and SRAM density scale
+ * with the logic node; the off-chip memory comes from the DRAM
+ * technology table. A design point splits the area and power budgets
+ * between the compute array and on-chip memory — the space the DSE
+ * search (dse/search.h) explores.
+ */
+
+#ifndef OPTIMUS_TECH_UARCH_H
+#define OPTIMUS_TECH_UARCH_H
+
+#include "hw/device.h"
+#include "hw/system.h"
+#include "tech/dram.h"
+#include "tech/logic_node.h"
+#include "tech/network_tech.h"
+
+namespace optimus {
+
+/** Technology corner a device is synthesized in. */
+struct TechConfig
+{
+    LogicNode node;
+    DramTech dram;
+    double areaBudget = 826.0;   ///< mm^2
+    double powerBudget = 400.0;  ///< W
+};
+
+/** Fraction of each budget given to the compute array. */
+struct UArchAllocation
+{
+    double computeAreaFraction = 0.55;
+    double computePowerFraction = 0.70;
+
+    /** Validate fractions are in (0, 1). */
+    void validate() const;
+};
+
+/** Calibration anchors (A100 at N7). */
+struct UArchCalibration
+{
+    /** FLOP/s (fp16 matrix) per mm^2 at N12. */
+    double flopsPerMm2 = 0.0;
+    /** FLOP/s (fp16 matrix) per W at N12. */
+    double flopsPerWatt = 0.0;
+    /** SRAM bytes per mm^2 at N12. */
+    double sramBytesPerMm2 = 0.0;
+    /** L2 bandwidth per byte of capacity at N12, 1/s. */
+    double l2BwPerByte = 0.0;
+
+    /** Default calibration derived from the A100 anchor. */
+    static UArchCalibration a100Anchor();
+};
+
+/**
+ * Build a device at the given technology corner and allocation.
+ * Compute throughput is the min of the area-limited and power-limited
+ * rates; on-chip memory receives the remaining area.
+ */
+Device buildDevice(const TechConfig &tech, const UArchAllocation &alloc,
+                   const UArchCalibration &cal =
+                       UArchCalibration::a100Anchor());
+
+/**
+ * Build a homogeneous system of synthesized devices with the given
+ * intra-node link and inter-node network technology.
+ */
+System buildSystem(const TechConfig &tech, const UArchAllocation &alloc,
+                   int devices_per_node, int num_nodes,
+                   const NetworkLink &intra, const NetworkLink &inter,
+                   const UArchCalibration &cal =
+                       UArchCalibration::a100Anchor());
+
+} // namespace optimus
+
+#endif // OPTIMUS_TECH_UARCH_H

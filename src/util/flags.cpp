@@ -1,0 +1,86 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace optimus {
+
+Flags
+Flags::parse(const std::vector<std::string> &args)
+{
+    Flags out;
+    size_t i = 0;
+    if (i < args.size() && args[i].rfind("--", 0) != 0)
+        out.command_ = args[i++];
+
+    while (i < args.size()) {
+        const std::string &arg = args[i];
+        checkConfig(arg.rfind("--", 0) == 0 && arg.size() > 2,
+                    "expected a --flag, got \"" + arg + "\"");
+        std::string name = arg.substr(2);
+        // A flag consumes the next token as its value unless that
+        // token is itself a flag (bare switch).
+        if (i + 1 < args.size() &&
+            args[i + 1].rfind("--", 0) != 0) {
+            out.flags_[name] = args[i + 1];
+            i += 2;
+        } else {
+            out.flags_[name] = "";
+            i += 1;
+        }
+    }
+    return out;
+}
+
+Flags
+Flags::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+Flags::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+long long
+Flags::getInt(const std::string &name, long long fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 10);
+    checkConfig(end != it->second.c_str() && *end == '\0',
+                "flag --" + name + " expects an integer, got \"" +
+                    it->second + "\"");
+    return v;
+}
+
+double
+Flags::getNumber(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    checkConfig(end != it->second.c_str() && *end == '\0',
+                "flag --" + name + " expects a number, got \"" +
+                    it->second + "\"");
+    return v;
+}
+
+} // namespace optimus

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by the CLI tool and any
+ * embedding application. Flags are GNU-style "--name value" pairs;
+ * a flag followed by another flag (or end of input) is a bare switch.
+ */
+
+#ifndef OPTIMUS_UTIL_FLAGS_H
+#define OPTIMUS_UTIL_FLAGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+/** Parsed command line: a command word plus --flag values. */
+class Flags
+{
+  public:
+    /** Parse argv-style input; throws ConfigError on malformed args. */
+    static Flags parse(int argc, const char *const *argv);
+
+    /** Parse from a token vector (testing convenience). */
+    static Flags parse(const std::vector<std::string> &args);
+
+    /** The first positional token ("train", "infer", ...). */
+    const std::string &command() const { return command_; }
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Integer value of --name; throws ConfigError on bad input. */
+    long long getInt(const std::string &name, long long fallback) const;
+
+    /** Floating-point value of --name. */
+    double getNumber(const std::string &name, double fallback) const;
+
+    /** All parsed flags (for diagnostics). */
+    const std::map<std::string, std::string> &all() const
+    {
+        return flags_;
+    }
+
+  private:
+    std::string command_;
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_FLAGS_H

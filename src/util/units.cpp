@@ -1,0 +1,74 @@
+#include "util/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optimus {
+
+namespace {
+
+std::string
+formatScaled(double value, const char *const *suffixes, int count,
+             double base)
+{
+    int idx = 0;
+    double v = value;
+    while (std::fabs(v) >= base && idx < count - 1) {
+        v /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return formatScaled(bytes, suffixes, 5, 1024.0);
+}
+
+std::string
+formatTime(double seconds)
+{
+    char buf[64];
+    double abs = std::fabs(seconds);
+    if (abs >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (abs >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (abs >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f ns", seconds * 1e9);
+    return buf;
+}
+
+std::string
+formatFlops(double flops_per_s)
+{
+    static const char *suffixes[] = {"FLOPS", "KFLOPS", "MFLOPS",
+                                     "GFLOPS", "TFLOPS", "PFLOPS"};
+    return formatScaled(flops_per_s, suffixes, 6, 1000.0);
+}
+
+std::string
+formatBandwidth(double bytes_per_s)
+{
+    static const char *suffixes[] = {"B/s", "KB/s", "MB/s", "GB/s",
+                                     "TB/s"};
+    return formatScaled(bytes_per_s, suffixes, 5, 1000.0);
+}
+
+double
+relativeErrorPct(double predicted, double reference)
+{
+    if (reference == 0.0)
+        return 0.0;
+    return std::fabs(predicted - reference) / std::fabs(reference) * 100.0;
+}
+
+} // namespace optimus

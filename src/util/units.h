@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit helpers for the quantities the performance model works in.
+ *
+ * The library stores every physical quantity in base SI units:
+ * bytes, seconds, FLOP/s, bytes/s, watts, mm^2. These helpers make
+ * configuration values readable ("80 * GiB", "1.9 * TBps") and
+ * formatting consistent everywhere.
+ */
+
+#ifndef OPTIMUS_UTIL_UNITS_H
+#define OPTIMUS_UTIL_UNITS_H
+
+#include <cstdint>
+#include <string>
+
+namespace optimus {
+
+// Decimal byte / rate multipliers (vendors quote bandwidth decimal).
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+constexpr double TB = 1e12;
+
+// Binary capacity multipliers (DRAM / cache capacities).
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * KiB;
+constexpr double GiB = 1024.0 * MiB;
+
+// Bandwidth, bytes per second.
+constexpr double GBps = 1e9;
+constexpr double TBps = 1e12;
+
+// Compute throughput, FLOP per second.
+constexpr double GFLOPS = 1e9;
+constexpr double TFLOPS = 1e12;
+constexpr double PFLOPS = 1e15;
+
+// Time, seconds.
+constexpr double nsec = 1e-9;
+constexpr double usec = 1e-6;
+constexpr double msec = 1e-3;
+
+/** Format a byte count with a binary suffix, e.g. "80.0 GiB". */
+std::string formatBytes(double bytes);
+
+/** Format a time in seconds with an adaptive suffix, e.g. "41.3 us". */
+std::string formatTime(double seconds);
+
+/** Format a FLOP/s rate with an adaptive suffix, e.g. "312.0 TFLOPS". */
+std::string formatFlops(double flops_per_s);
+
+/** Format a bandwidth with an adaptive suffix, e.g. "1.9 TB/s". */
+std::string formatBandwidth(double bytes_per_s);
+
+/**
+ * Relative error in percent between a prediction and a reference.
+ * Returns |pred - ref| / ref * 100; reference of zero yields zero.
+ */
+double relativeErrorPct(double predicted, double reference);
+
+} // namespace optimus
+
+#endif // OPTIMUS_UTIL_UNITS_H

@@ -1,0 +1,94 @@
+#include "workload/model_config.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace optimus {
+
+long long
+TransformerConfig::headDim() const
+{
+    return hiddenSize / numHeads;
+}
+
+long long
+TransformerConfig::attentionSpan(long long context) const
+{
+    if (slidingWindow <= 0)
+        return context;
+    return std::min(context, slidingWindow);
+}
+
+double
+TransformerConfig::attentionParameterCount() const
+{
+    const double h = double(hiddenSize);
+    const double hd = double(headDim());
+    const double kvh = double(numKvHeads);
+    // Attention: Q is h x h; K and V are h x (kvh * hd); output h x h;
+    // plus the two layer-norms (gain + bias) and, for MoE, the router.
+    double attn = h * h + 2.0 * h * kvh * hd + h * h + 4.0 * h;
+    if (isMoe())
+        attn += h * double(numExperts);
+    return attn;
+}
+
+double
+TransformerConfig::expertParameterCount() const
+{
+    const double h = double(hiddenSize);
+    const double f = double(ffnHidden);
+    return (mlp == MlpKind::SwiGlu) ? 3.0 * h * f : 2.0 * h * f;
+}
+
+double
+TransformerConfig::layerParameterCount() const
+{
+    return attentionParameterCount() +
+           double(numExperts) * expertParameterCount();
+}
+
+double
+TransformerConfig::embeddingParameterCount() const
+{
+    return double(vocabSize) * double(hiddenSize) +
+           double(maxSeqLength) * double(hiddenSize);
+}
+
+double
+TransformerConfig::parameterCount() const
+{
+    return double(numLayers) * layerParameterCount() +
+           embeddingParameterCount() + 2.0 * double(hiddenSize);
+}
+
+void
+TransformerConfig::validate() const
+{
+    checkConfig(!name.empty(), "model needs a name");
+    checkPositive(numLayers, name + " numLayers");
+    checkPositive(hiddenSize, name + " hiddenSize");
+    checkPositive(numHeads, name + " numHeads");
+    checkPositive(numKvHeads, name + " numKvHeads");
+    checkPositive(ffnHidden, name + " ffnHidden");
+    checkPositive(vocabSize, name + " vocabSize");
+    checkPositive(maxSeqLength, name + " maxSeqLength");
+    checkConfig(hiddenSize % numHeads == 0,
+                name + ": hiddenSize must divide evenly into heads");
+    checkConfig(numKvHeads <= numHeads,
+                name + ": numKvHeads cannot exceed numHeads");
+    checkConfig(numHeads % numKvHeads == 0,
+                name + ": numHeads must be a multiple of numKvHeads");
+    checkPositive(numExperts, name + " numExperts");
+    checkPositive(topK, name + " topK");
+    checkConfig(topK <= numExperts,
+                name + ": topK cannot exceed numExperts");
+    checkConfig(numExperts > 1 || topK == 1,
+                name + ": dense models route every token to the "
+                "single FFN (topK must be 1)");
+    checkConfig(slidingWindow >= 0,
+                name + ": slidingWindow must be non-negative");
+}
+
+} // namespace optimus

@@ -1,0 +1,124 @@
+#include "workload/presets.h"
+
+namespace optimus {
+namespace models {
+
+namespace {
+
+TransformerConfig
+gpt(const std::string &name, long long layers, long long hidden,
+    long long heads)
+{
+    TransformerConfig c;
+    c.name = name;
+    c.numLayers = layers;
+    c.hiddenSize = hidden;
+    c.numHeads = heads;
+    c.numKvHeads = heads;
+    c.ffnHidden = 4 * hidden;
+    c.vocabSize = 51200;
+    c.maxSeqLength = 2048;
+    c.mlp = MlpKind::GeluTwoLayer;
+    c.validate();
+    return c;
+}
+
+TransformerConfig
+llama2(const std::string &name, long long layers, long long hidden,
+       long long heads, long long kv_heads, long long ffn)
+{
+    TransformerConfig c;
+    c.name = name;
+    c.numLayers = layers;
+    c.hiddenSize = hidden;
+    c.numHeads = heads;
+    c.numKvHeads = kv_heads;
+    c.ffnHidden = ffn;
+    c.vocabSize = 32000;
+    c.maxSeqLength = 4096;
+    c.mlp = MlpKind::SwiGlu;
+    c.validate();
+    return c;
+}
+
+} // namespace
+
+TransformerConfig gpt7b() { return gpt("GPT-7B", 32, 4096, 32); }
+TransformerConfig gpt22b() { return gpt("GPT-22B", 48, 6144, 64); }
+TransformerConfig gpt175b() { return gpt("GPT-175B", 96, 12288, 96); }
+TransformerConfig gpt310b() { return gpt("GPT-310B", 96, 16384, 128); }
+TransformerConfig gpt530b() { return gpt("GPT-530B", 105, 20480, 128); }
+TransformerConfig gpt1008b() { return gpt("GPT-1008B", 128, 25600, 160); }
+
+TransformerConfig
+llama2_7b()
+{
+    return llama2("Llama2-7B", 32, 4096, 32, 32, 11008);
+}
+
+TransformerConfig
+llama2_13b()
+{
+    return llama2("Llama2-13B", 40, 5120, 40, 40, 13824);
+}
+
+TransformerConfig
+llama2_70b()
+{
+    return llama2("Llama2-70B", 80, 8192, 64, 8, 28672);
+}
+
+namespace {
+
+TransformerConfig
+llama3(const std::string &name, long long layers, long long hidden,
+       long long heads, long long ffn)
+{
+    TransformerConfig c;
+    c.name = name;
+    c.numLayers = layers;
+    c.hiddenSize = hidden;
+    c.numHeads = heads;
+    c.numKvHeads = 8;
+    c.ffnHidden = ffn;
+    c.vocabSize = 128256;
+    c.maxSeqLength = 8192;
+    c.mlp = MlpKind::SwiGlu;
+    c.validate();
+    return c;
+}
+
+} // namespace
+
+TransformerConfig
+llama3_8b()
+{
+    return llama3("Llama3-8B", 32, 4096, 32, 14336);
+}
+
+TransformerConfig
+llama3_70b()
+{
+    return llama3("Llama3-70B", 80, 8192, 64, 28672);
+}
+
+TransformerConfig
+llama3_405b()
+{
+    return llama3("Llama3-405B", 126, 16384, 128, 53248);
+}
+
+TransformerConfig
+mixtral8x7b()
+{
+    TransformerConfig c = llama2("Mixtral-8x7B", 32, 4096, 32, 8,
+                                 14336);
+    c.numExperts = 8;
+    c.topK = 2;
+    c.maxSeqLength = 32768;
+    c.validate();
+    return c;
+}
+
+} // namespace models
+} // namespace optimus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Model presets matching the paper's workloads: the GPT family used in
+ * the Megatron/Korthikanti validation (Table 1) and case studies
+ * (Table 3), and the Llama-2 family used for inference (Tables 2/4,
+ * Figs. 8/9). Dimensions follow the cited papers.
+ */
+
+#ifndef OPTIMUS_WORKLOAD_PRESETS_H
+#define OPTIMUS_WORKLOAD_PRESETS_H
+
+#include "workload/model_config.h"
+
+namespace optimus {
+namespace models {
+
+/** GPT 7B: 32 layers, hidden 4096, 32 heads. */
+TransformerConfig gpt7b();
+/** GPT 22B: 48 layers, hidden 6144, 64 heads. */
+TransformerConfig gpt22b();
+/** GPT-3 175B: 96 layers, hidden 12288, 96 heads. */
+TransformerConfig gpt175b();
+/** GPT 310B: 96 layers, hidden 16384, 128 heads. */
+TransformerConfig gpt310b();
+/** GPT 530B (MT-NLG): 105 layers, hidden 20480, 128 heads. */
+TransformerConfig gpt530b();
+/** GPT 1008B: 128 layers, hidden 25600, 160 heads. */
+TransformerConfig gpt1008b();
+
+/** Llama-2 7B: 32 layers, hidden 4096, SwiGLU FFN 11008. */
+TransformerConfig llama2_7b();
+/** Llama-2 13B: 40 layers, hidden 5120, SwiGLU FFN 13824. */
+TransformerConfig llama2_13b();
+/** Llama-2 70B: 80 layers, hidden 8192, GQA (8 KV heads). */
+TransformerConfig llama2_70b();
+
+/** Mixtral 8x7B: 8 experts, top-2 routing, SwiGLU FFN 14336. */
+TransformerConfig mixtral8x7b();
+
+/** Llama-3 8B: 32 layers, hidden 4096, GQA (8 KV heads), vocab 128k. */
+TransformerConfig llama3_8b();
+/** Llama-3 70B: 80 layers, hidden 8192, GQA (8 KV heads). */
+TransformerConfig llama3_70b();
+/** Llama-3.1 405B: 126 layers, hidden 16384, GQA (8 KV heads). */
+TransformerConfig llama3_405b();
+
+} // namespace models
+} // namespace optimus
+
+#endif // OPTIMUS_WORKLOAD_PRESETS_H

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the collective communication models: Eq. 3 (ring)
+ * and Eq. 4 (double binary tree), auto selection, system mapping.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "hw/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace optimus {
+namespace {
+
+NetworkLink
+idealLink(double bw, double latency, double overhead = 0.0)
+{
+    NetworkLink l;
+    l.name = "ideal";
+    l.bandwidth = bw;
+    l.latency = latency;
+    l.halfUtilVolume = 0.0;  // utilization = max for all sizes
+    l.maxUtilization = 1.0;
+    l.collectiveOverhead = overhead;
+    return l;
+}
+
+TEST(Collective, RingMatchesEquationThree)
+{
+    // T = 2K(N-1)/(N BW) + 2 l (N-1).
+    NetworkLink l = idealLink(100 * GBps, 3 * usec);
+    const double K = 64 * MB;
+    const double N = 8;
+    CollectiveResult r =
+        collectiveTime(CollectiveKind::AllReduce, K, 8, l,
+                       CollectiveAlgorithm::Ring);
+    EXPECT_NEAR(r.bandwidthTime, 2.0 * K * (N - 1) / (N * 100 * GBps),
+                1e-12);
+    EXPECT_NEAR(r.latencyTime, 2.0 * 3 * usec * (N - 1), 1e-12);
+    EXPECT_NEAR(r.time, r.bandwidthTime + r.latencyTime, 1e-12);
+}
+
+TEST(Collective, TreeMatchesEquationFour)
+{
+    // T = 2K(N-1)/(N BW) + 2 l log2(N).
+    NetworkLink l = idealLink(100 * GBps, 3 * usec);
+    const double K = 64 * MB;
+    const double N = 8;
+    CollectiveResult r =
+        collectiveTime(CollectiveKind::AllReduce, K, 8, l,
+                       CollectiveAlgorithm::DoubleBinaryTree);
+    EXPECT_NEAR(r.bandwidthTime, 2.0 * K * (N - 1) / (N * 100 * GBps),
+                1e-12);
+    EXPECT_NEAR(r.latencyTime, 2.0 * 3 * usec * 3.0, 1e-12);
+}
+
+TEST(Collective, AutoPicksTheFaster)
+{
+    NetworkLink l = idealLink(100 * GBps, 3 * usec);
+    CollectiveResult ring = collectiveTime(
+        CollectiveKind::AllReduce, 1 * KB, 16, l,
+        CollectiveAlgorithm::Ring);
+    CollectiveResult tree = collectiveTime(
+        CollectiveKind::AllReduce, 1 * KB, 16, l,
+        CollectiveAlgorithm::DoubleBinaryTree);
+    CollectiveResult aut = collectiveTime(
+        CollectiveKind::AllReduce, 1 * KB, 16, l,
+        CollectiveAlgorithm::Auto);
+    EXPECT_DOUBLE_EQ(aut.time, std::min(ring.time, tree.time));
+    // Small message: tree wins on latency.
+    EXPECT_LT(tree.time, ring.time);
+}
+
+TEST(Collective, RingAndTreeShareBandwidthTerm)
+{
+    NetworkLink l = presets::nvlink3();
+    for (double vol : {1 * MB, 100 * MB}) {
+        CollectiveResult ring = collectiveTime(
+            CollectiveKind::AllReduce, vol, 8, l,
+            CollectiveAlgorithm::Ring);
+        CollectiveResult tree = collectiveTime(
+            CollectiveKind::AllReduce, vol, 8, l,
+            CollectiveAlgorithm::DoubleBinaryTree);
+        EXPECT_DOUBLE_EQ(ring.bandwidthTime, tree.bandwidthTime);
+    }
+}
+
+TEST(Collective, AllGatherIsHalfAnAllReduce)
+{
+    NetworkLink l = idealLink(50 * GBps, 0.0);
+    const double K = 10 * MB;
+    double ar = collectiveTime(CollectiveKind::AllReduce, K, 4, l,
+                               CollectiveAlgorithm::Ring)
+                    .bandwidthTime;
+    double ag = collectiveTime(CollectiveKind::AllGather, K, 4, l,
+                               CollectiveAlgorithm::Ring)
+                    .bandwidthTime;
+    double rs = collectiveTime(CollectiveKind::ReduceScatter, K, 4, l,
+                               CollectiveAlgorithm::Ring)
+                    .bandwidthTime;
+    EXPECT_NEAR(ag, ar / 2.0, 1e-12);
+    EXPECT_NEAR(rs, ar / 2.0, 1e-12);
+}
+
+TEST(Collective, PointToPoint)
+{
+    NetworkLink l = idealLink(100 * GBps, 2 * usec, 5 * usec);
+    CollectiveResult r = collectiveTime(CollectiveKind::PointToPoint,
+                                        100 * MB, 2, l);
+    EXPECT_NEAR(r.bandwidthTime, 1e8 / (100 * GBps), 1e-12);
+    EXPECT_NEAR(r.latencyTime, 7 * usec, 1e-12);
+}
+
+TEST(Collective, BroadcastCost)
+{
+    NetworkLink l = idealLink(100 * GBps, 2 * usec);
+    CollectiveResult r = collectiveTime(CollectiveKind::Broadcast,
+                                        1 * GB, 8, l,
+                                        CollectiveAlgorithm::Ring);
+    EXPECT_NEAR(r.bandwidthTime, 1 * GB / (100 * GBps), 1e-9);
+    EXPECT_NEAR(r.latencyTime, 2 * usec * 7.0, 1e-12);
+}
+
+TEST(Collective, AllToAllMatchesAllGatherWireVolume)
+{
+    NetworkLink l = presets::ndrInfiniBand();
+    double a2a = collectiveTime(CollectiveKind::AllToAll, 64 * MB, 8,
+                                l, CollectiveAlgorithm::Ring)
+                     .bandwidthTime;
+    double ag = collectiveTime(CollectiveKind::AllGather, 64 * MB, 8,
+                               l, CollectiveAlgorithm::Ring)
+                    .bandwidthTime;
+    EXPECT_DOUBLE_EQ(a2a, ag);
+}
+
+TEST(Collective, SingleMemberGroupIsFree)
+{
+    NetworkLink l = presets::nvlink3();
+    CollectiveResult r =
+        collectiveTime(CollectiveKind::AllReduce, 1 * GB, 1, l);
+    EXPECT_DOUBLE_EQ(r.time, 0.0);
+}
+
+TEST(Collective, CollectiveOverheadDominatesTinyMessages)
+{
+    NetworkLink l = presets::nvlink3();
+    CollectiveResult r =
+        collectiveTime(CollectiveKind::AllReduce, 1 * KB, 8, l);
+    EXPECT_GE(r.latencyTime, l.collectiveOverhead);
+    EXPECT_GT(r.latencyTime, r.bandwidthTime * 0.1);
+}
+
+TEST(Collective, RejectsBadInputs)
+{
+    NetworkLink l = presets::nvlink3();
+    EXPECT_THROW(
+        collectiveTime(CollectiveKind::AllReduce, -1.0, 8, l),
+        ConfigError);
+    EXPECT_THROW(collectiveTime(CollectiveKind::AllReduce, 1.0, 0, l),
+                 ConfigError);
+}
+
+TEST(SystemCollective, IntraNodeUsesNvlink)
+{
+    System sys = presets::dgxA100(4);
+    CollectiveResult intra = systemCollective(
+        sys, CollectiveKind::AllReduce, 64 * MB, 8,
+        GroupScope::IntraNode);
+    CollectiveResult inter = systemCollective(
+        sys, CollectiveKind::AllReduce, 64 * MB, 4,
+        GroupScope::InterNode);
+    // NVLink is far faster than a 1/8 share of HDR IB.
+    EXPECT_LT(intra.bandwidthTime, inter.bandwidthTime);
+}
+
+TEST(SystemCollective, InterNodeSharesPerNodeBandwidth)
+{
+    System sys = presets::dgxA100(4);
+    CollectiveResult r = systemCollective(
+        sys, CollectiveKind::AllReduce, 800 * MB, 4,
+        GroupScope::InterNode);
+    // Effective per-group bandwidth is interLink / devicesPerNode.
+    double share = sys.interLink.bandwidth / 8.0;
+    double util = sys.interLink.utilization(800 * MB);
+    EXPECT_NEAR(r.bandwidthTime,
+                2.0 * 800 * MB * 3.0 / (4.0 * share * util), 1e-9);
+}
+
+TEST(SystemCollective, RejectsOversizedIntraNodeGroup)
+{
+    System sys = presets::dgxA100(4);
+    EXPECT_THROW(systemCollective(sys, CollectiveKind::AllReduce,
+                                  1 * MB, 16, GroupScope::IntraNode),
+                 ConfigError);
+}
+
+TEST(Collective, Names)
+{
+    EXPECT_STREQ(collectiveName(CollectiveKind::AllReduce),
+                 "all-reduce");
+    EXPECT_STREQ(collectiveName(CollectiveKind::PointToPoint), "p2p");
+}
+
+// Property sweep: all-reduce time is monotone in volume and (for the
+// bandwidth term) independent of N in the large-N limit.
+class AllReduceVolumeTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(AllReduceVolumeTest, MonotoneInVolume)
+{
+    NetworkLink l = presets::ndrInfiniBand();
+    double v = GetParam();
+    double t1 = collectiveTime(CollectiveKind::AllReduce, v, 8, l).time;
+    double t2 =
+        collectiveTime(CollectiveKind::AllReduce, 2.0 * v, 8, l).time;
+    EXPECT_GT(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllReduceVolumeTest,
+                         ::testing::Values(1 * KB, 1 * MB, 100 * MB,
+                                           1 * GB));
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the config (de)serialization layer and the preset
+ * registries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/serialize.h"
+#include "hw/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+TEST(Registry, KnowsAllPresets)
+{
+    EXPECT_EQ(config::devicePresetNames().size(), 7u);
+    EXPECT_EQ(config::systemPresetNames().size(), 8u);
+    EXPECT_EQ(config::modelPresetNames().size(), 13u);
+    EXPECT_EQ(config::devicePreset("a100-80gb").name, "A100-80GB");
+    EXPECT_EQ(config::modelPreset("llama2-70b").numKvHeads, 8);
+    EXPECT_EQ(config::systemPreset("dgx-h100", 4).totalDevices(), 32);
+    EXPECT_THROW(config::devicePreset("tpu-v9"), ConfigError);
+    EXPECT_THROW(config::modelPreset("gpt-5"), ConfigError);
+    EXPECT_THROW(config::systemPreset("dgx-x", 1), ConfigError);
+}
+
+TEST(Serialize, DeviceRoundTrips)
+{
+    Device d = presets::h100_sxm();
+    Device back = config::deviceFromJson(config::toJson(d));
+    EXPECT_EQ(back.name, d.name);
+    EXPECT_DOUBLE_EQ(back.matrixFlops(Precision::FP8),
+                     d.matrixFlops(Precision::FP8));
+    ASSERT_EQ(back.mem.size(), d.mem.size());
+    for (size_t i = 0; i < d.mem.size(); ++i) {
+        EXPECT_DOUBLE_EQ(back.mem[i].bandwidth, d.mem[i].bandwidth);
+        EXPECT_DOUBLE_EQ(back.mem[i].capacity, d.mem[i].capacity);
+    }
+    EXPECT_DOUBLE_EQ(back.gemmKHalf, d.gemmKHalf);
+}
+
+TEST(Serialize, ModelRoundTrips)
+{
+    TransformerConfig m = models::llama2_70b();
+    TransformerConfig back = config::modelFromJson(config::toJson(m));
+    EXPECT_EQ(back.name, m.name);
+    EXPECT_EQ(back.numLayers, m.numLayers);
+    EXPECT_EQ(back.numKvHeads, 8);
+    EXPECT_EQ(back.mlp, MlpKind::SwiGlu);
+    EXPECT_DOUBLE_EQ(back.parameterCount(), m.parameterCount());
+}
+
+TEST(Serialize, SystemRoundTrips)
+{
+    System s = presets::dgxB200Nvs(16);
+    System back = config::systemFromJson(config::toJson(s));
+    EXPECT_EQ(back.totalDevices(), s.totalDevices());
+    EXPECT_DOUBLE_EQ(back.interLink.bandwidth,
+                     s.interLink.bandwidth);
+    EXPECT_DOUBLE_EQ(back.device.dram().bandwidth,
+                     s.device.dram().bandwidth);
+}
+
+TEST(Serialize, ParallelRoundTrips)
+{
+    ParallelConfig p;
+    p.dataParallel = 4;
+    p.tensorParallel = 8;
+    p.pipelineParallel = 2;
+    p.sequenceParallel = true;
+    p.schedule = PipelineSchedule::Interleaved1F1B;
+    p.interleavedStages = 6;
+    ParallelConfig back =
+        config::parallelFromJson(config::toJson(p));
+    EXPECT_EQ(back.label(), p.label());
+    EXPECT_EQ(back.schedule, p.schedule);
+    EXPECT_EQ(back.interleavedStages, 6);
+}
+
+TEST(Deserialize, PresetReference)
+{
+    JsonValue j = JsonValue::parse(R"({"preset": "a100-80gb"})");
+    Device d = config::deviceFromJson(j);
+    EXPECT_EQ(d.name, "A100-80GB");
+}
+
+TEST(Deserialize, PresetWithOverride)
+{
+    // Start from the A100 and swap the DRAM bandwidth: the Fig. 9
+    // style technology swap expressed as a config file.
+    JsonValue j = JsonValue::parse(R"({
+        "preset": "a100-80gb",
+        "name": "A100-HBM3E",
+        "mem": [
+            {"name": "DRAM", "capacity": 1.51e11,
+             "bandwidth": 4.8e12, "utilization": 0.85},
+            {"name": "L2", "capacity": 4.19e7, "bandwidth": 5.5e12},
+            {"name": "SMEM", "capacity": 2.1e7, "bandwidth": 1.9e13}
+        ]
+    })");
+    Device d = config::deviceFromJson(j);
+    EXPECT_EQ(d.name, "A100-HBM3E");
+    EXPECT_DOUBLE_EQ(d.dram().bandwidth, 4.8e12);
+    // Non-overridden fields keep the preset values.
+    EXPECT_DOUBLE_EQ(d.matrixFlops(Precision::FP16), 312 * TFLOPS);
+}
+
+TEST(Deserialize, FullSystemFromScratch)
+{
+    JsonValue j = JsonValue::parse(R"({
+        "device": {"preset": "h100-sxm"},
+        "devicesPerNode": 4,
+        "numNodes": 2,
+        "intraLink": {"preset": "nvlink4"},
+        "interLink": {"preset": "ndr-ib", "bandwidth": 2.0e11}
+    })");
+    System sys = config::systemFromJson(j);
+    EXPECT_EQ(sys.totalDevices(), 8);
+    EXPECT_DOUBLE_EQ(sys.interLink.bandwidth, 2.0e11);
+    EXPECT_EQ(sys.intraLink.name, "NVLink4");
+}
+
+TEST(Deserialize, OptionsFromJson)
+{
+    TrainingOptions t = config::trainingOptionsFromJson(
+        JsonValue::parse(R"({"precision": "fp8",
+                             "recompute": "selective",
+                             "seqLength": 4096,
+                             "flashAttention": true,
+                             "zeroStage": 2})"));
+    EXPECT_EQ(t.precision, Precision::FP8);
+    EXPECT_EQ(t.recompute, Recompute::Selective);
+    EXPECT_EQ(t.seqLength, 4096);
+    EXPECT_TRUE(t.flashAttention);
+    EXPECT_EQ(t.memory.zeroStage, 2);
+    EXPECT_DOUBLE_EQ(t.memory.activationBytes, 1.0);
+
+    InferenceOptions i = config::inferenceOptionsFromJson(
+        JsonValue::parse(R"({"tensorParallel": 4, "batch": 16,
+                             "promptLength": 512,
+                             "generateLength": 64})"));
+    EXPECT_EQ(i.tensorParallel, 4);
+    EXPECT_EQ(i.batch, 16);
+    EXPECT_EQ(i.promptLength, 512);
+    EXPECT_EQ(i.generateLength, 64);
+}
+
+TEST(Deserialize, RejectsUnknownEnumValues)
+{
+    EXPECT_THROW(config::trainingOptionsFromJson(JsonValue::parse(
+                     R"({"recompute": "sometimes"})")),
+                 ConfigError);
+    EXPECT_THROW(config::parallelFromJson(JsonValue::parse(
+                     R"({"schedule": "zigzag"})")),
+                 ConfigError);
+    EXPECT_THROW(config::modelFromJson(JsonValue::parse(
+                     R"({"preset": "gpt-7b", "mlp": "relu6"})")),
+                 ConfigError);
+    EXPECT_THROW(config::linkFromJson(JsonValue::parse(
+                     R"({"preset": "carrier-pigeon"})")),
+                 ConfigError);
+}
+
+TEST(Serialize, ReportsAreWellFormed)
+{
+    System sys = presets::dgxA100(8);
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    TrainingReport rep =
+        evaluateTraining(models::gpt175b(), sys, par, 64, {});
+    JsonValue j = config::toJson(rep);
+    // Re-parse the dump to prove it is valid JSON with the expected
+    // members.
+    JsonValue back = JsonValue::parse(j.dump(2));
+    EXPECT_NEAR(back.at("timePerBatch").asNumber(), rep.timePerBatch,
+                1e-9);
+    EXPECT_NEAR(back.at("time").at("forward").asNumber(),
+                rep.time.forward, 1e-9);
+    EXPECT_NEAR(back.at("memory").at("total").asNumber(),
+                rep.memory.total(), 1.0);
+
+    InferenceOptions iopts;
+    InferenceReport irep =
+        evaluateInference(models::llama2_13b(), sys, iopts);
+    JsonValue ij = config::toJson(irep);
+    JsonValue iback = JsonValue::parse(ij.dump());
+    EXPECT_NEAR(iback.at("totalLatency").asNumber(),
+                irep.totalLatency, 1e-9);
+    EXPECT_TRUE(iback.at("fitsDeviceMemory").asBool());
+}
+
+} // namespace
+} // namespace optimus

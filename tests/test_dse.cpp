@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the design-space exploration engine.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dse/search.h"
+#include "roofline/gemm.h"
+#include "util/error.h"
+#include "workload/graph.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+TechConfig
+corner(const char *node, DramTech dram)
+{
+    TechConfig tech;
+    tech.node = logicNode(node);
+    tech.dram = std::move(dram);
+    return tech;
+}
+
+TEST(Dse, FindsAtLeastGridOptimum)
+{
+    TechConfig tech = corner("N5", dram::hbm3_26());
+    auto objective = [](const Device &dev) {
+        return estimateGemm(dev, {4096, 4096, 4096, Precision::FP16})
+            .time;
+    };
+    DseResult r = optimizeAllocation(tech, objective);
+
+    // The result must beat (or tie) a few hand-picked allocations.
+    for (double area : {0.2, 0.5, 0.8}) {
+        for (double power : {0.3, 0.6, 0.9}) {
+            Device d = buildDevice(tech, {area, power});
+            EXPECT_LE(r.objective, objective(d) * (1.0 + 1e-9));
+        }
+    }
+    EXPECT_GT(r.evaluations, 10);
+}
+
+TEST(Dse, RespectsFractionBounds)
+{
+    TechConfig tech = corner("N3", dram::hbm2());
+    DseOptions opts;
+    opts.minFraction = 0.2;
+    opts.maxFraction = 0.8;
+    DseResult r = optimizeAllocation(
+        tech,
+        [](const Device &dev) {
+            return estimateGemm(dev,
+                                {8192, 8192, 8192, Precision::FP16})
+                .time;
+        },
+        opts);
+    EXPECT_GE(r.allocation.computeAreaFraction, 0.2);
+    EXPECT_LE(r.allocation.computeAreaFraction, 0.8);
+    EXPECT_GE(r.allocation.computePowerFraction, 0.2);
+    EXPECT_LE(r.allocation.computePowerFraction, 0.8);
+}
+
+TEST(Dse, ComputeHeavyObjectiveWantsComputeArea)
+{
+    TechConfig tech = corner("N7", dram::hbm3_26());
+
+    // Compute-bound objective: a huge fat GEMM.
+    DseResult fat = optimizeAllocation(tech, [](const Device &dev) {
+        return estimateGemm(dev, {16384, 16384, 16384,
+                                  Precision::FP16})
+            .time;
+    });
+
+    // Cache-sensitive objective: penalize DRAM traffic directly so
+    // the optimum wants on-chip capacity.
+    DseResult cachey = optimizeAllocation(tech, [](const Device &dev) {
+        KernelEstimate est = estimateGemm(
+            dev, {8192, 8192, 8192, Precision::FP16});
+        return est.bytesPerLevel[0];
+    });
+
+    EXPECT_GT(fat.allocation.computeAreaFraction,
+              cachey.allocation.computeAreaFraction);
+}
+
+TEST(Dse, DeviceMatchesReportedAllocation)
+{
+    TechConfig tech = corner("N2", dram::hbm4());
+    DseResult r = optimizeAllocation(tech, [](const Device &dev) {
+        return estimateGemm(dev, {2048, 2048, 2048, Precision::FP16})
+            .time;
+    });
+    Device rebuilt = buildDevice(tech, r.allocation);
+    EXPECT_DOUBLE_EQ(rebuilt.matrixFlops(Precision::FP16),
+                     r.device.matrixFlops(Precision::FP16));
+    EXPECT_DOUBLE_EQ(rebuilt.level("L2").capacity,
+                     r.device.level("L2").capacity);
+}
+
+TEST(Dse, RequiresObjective)
+{
+    TechConfig tech = corner("N5", dram::hbm2e());
+    EXPECT_THROW(optimizeAllocation(tech, DeviceObjective{}),
+                 ConfigError);
+}
+
+TEST(Dse, DeterministicForFixedInputs)
+{
+    TechConfig tech = corner("N5", dram::hbm2e());
+    auto objective = [](const Device &dev) {
+        return estimateGemm(dev, {4096, 4096, 4096, Precision::FP16})
+            .time;
+    };
+    DseResult a = optimizeAllocation(tech, objective);
+    DseResult b = optimizeAllocation(tech, objective);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+    EXPECT_DOUBLE_EQ(a.allocation.computeAreaFraction,
+                     b.allocation.computeAreaFraction);
+}
+
+// Property: a better technology corner never worsens the optimized
+// objective (more density/efficiency strictly helps a GEMM).
+class CornerSweepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CornerSweepTest, BetterNodesGiveBetterOptima)
+{
+    const auto &nodes = logicNodes();
+    int i = GetParam();
+    auto objective = [](const Device &dev) {
+        return estimateGemm(dev, {4096, 4096, 4096, Precision::FP16})
+            .time;
+    };
+    TechConfig a, b;
+    a.node = nodes[i];
+    b.node = nodes[i + 1];
+    a.dram = b.dram = dram::hbm3_26();
+    EXPECT_GE(optimizeAllocation(a, objective).objective,
+              optimizeAllocation(b, objective).objective * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CornerSweepTest,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace optimus

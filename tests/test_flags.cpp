@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Unit tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/flags.h"
+
+namespace optimus {
+namespace {
+
+TEST(Flags, ParsesCommandAndValues)
+{
+    Flags f = Flags::parse({"train", "--model", "gpt-175b", "--batch",
+                            "64", "--sp"});
+    EXPECT_EQ(f.command(), "train");
+    EXPECT_EQ(f.get("model", ""), "gpt-175b");
+    EXPECT_EQ(f.getInt("batch", 0), 64);
+    EXPECT_TRUE(f.has("sp"));
+    EXPECT_FALSE(f.has("pp"));
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlag)
+{
+    Flags f = Flags::parse({"train", "--sp", "--tp", "8"});
+    EXPECT_TRUE(f.has("sp"));
+    EXPECT_EQ(f.get("sp", "x"), "");
+    EXPECT_EQ(f.getInt("tp", 0), 8);
+}
+
+TEST(Flags, TrailingSwitch)
+{
+    Flags f = Flags::parse({"infer", "--json"});
+    EXPECT_TRUE(f.has("json"));
+}
+
+TEST(Flags, EmptyInput)
+{
+    Flags f = Flags::parse(std::vector<std::string>{});
+    EXPECT_EQ(f.command(), "");
+    EXPECT_TRUE(f.all().empty());
+}
+
+TEST(Flags, Fallbacks)
+{
+    Flags f = Flags::parse({"x"});
+    EXPECT_EQ(f.get("missing", "dflt"), "dflt");
+    EXPECT_EQ(f.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(f.getNumber("missing", 2.5), 2.5);
+}
+
+TEST(Flags, NumberParsing)
+{
+    Flags f = Flags::parse({"x", "--rate", "0.85", "--count", "12"});
+    EXPECT_DOUBLE_EQ(f.getNumber("rate", 0.0), 0.85);
+    EXPECT_EQ(f.getInt("count", 0), 12);
+    EXPECT_THROW(f.getInt("rate", 0), ConfigError);
+}
+
+TEST(Flags, RejectsMalformedInput)
+{
+    // Positional token after flags began.
+    EXPECT_THROW(Flags::parse({"cmd", "stray"}), ConfigError);
+    EXPECT_THROW(Flags::parse({"cmd", "--ok", "v", "stray", "x"}),
+                 ConfigError);
+    // Bare "--" is not a flag.
+    EXPECT_THROW(Flags::parse({"cmd", "--"}), ConfigError);
+    // Non-numeric value for an integer flag.
+    Flags f = Flags::parse({"cmd", "--n", "abc"});
+    EXPECT_THROW(f.getInt("n", 0), ConfigError);
+}
+
+TEST(Flags, ArgvOverload)
+{
+    const char *argv[] = {"prog", "serve", "--tp", "4"};
+    Flags f = Flags::parse(4, argv);
+    EXPECT_EQ(f.command(), "serve");
+    EXPECT_EQ(f.getInt("tp", 0), 4);
+}
+
+} // namespace
+} // namespace optimus

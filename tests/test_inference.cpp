@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit tests for the inference engine: phase accounting, KV-cache
+ * behaviour, TP scaling, bound classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "inference/engine.h"
+#include "memory/kv_cache.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+InferenceReport
+run(const TransformerConfig &cfg, const System &sys, int tp,
+    long long batch = 1, long long prompt = 200, long long gen = 200)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = tp;
+    opts.batch = batch;
+    opts.promptLength = prompt;
+    opts.generateLength = gen;
+    return evaluateInference(cfg, sys, opts);
+}
+
+TEST(Inference, TotalsAreConsistent)
+{
+    InferenceReport rep = run(models::llama2_13b(),
+                              presets::dgxA100(1), 1);
+    EXPECT_NEAR(rep.totalLatency, rep.prefill.time + rep.decode.time,
+                1e-12);
+    EXPECT_GT(rep.decode.time, rep.prefill.time);
+    EXPECT_GT(rep.kvCacheBytes, 0.0);
+    EXPECT_GT(rep.weightBytes, 20 * GiB);
+    EXPECT_TRUE(rep.fitsDeviceMemory);
+}
+
+TEST(Inference, DecodeIsCompletelyMemoryBound)
+{
+    for (const System &sys :
+         {presets::dgxA100(1), presets::dgxH100(1)}) {
+        InferenceReport rep = run(models::llama2_13b(), sys, 1);
+        EXPECT_DOUBLE_EQ(rep.decode.computeBoundGemmTime, 0.0)
+            << sys.device.name;
+        EXPECT_GT(rep.decode.memoryBoundGemmTime, 0.0);
+    }
+}
+
+TEST(Inference, DecodeDominatedByWeightTraffic)
+{
+    // B=1 decode step time ~ weights / (DRAM bw * util) per token.
+    TransformerConfig cfg = models::llama2_13b();
+    System sys = presets::dgxA100(1);
+    InferenceReport rep = run(cfg, sys, 1);
+    double per_token = rep.decode.memoryTime / 200.0;
+    double ideal = modelWeightBytes(cfg, Precision::FP16) /
+                   (sys.device.dram().bandwidth *
+                    sys.device.gemvDramUtilization);
+    EXPECT_GT(per_token, ideal * 0.95);
+    EXPECT_LT(per_token, ideal * 1.35);  // + KV reads and head
+}
+
+TEST(Inference, H100BeatsA100)
+{
+    double a = run(models::llama2_13b(), presets::dgxA100(1), 1)
+                   .totalLatency;
+    double h = run(models::llama2_13b(), presets::dgxH100(1), 1)
+                   .totalLatency;
+    // Gain tracks the DRAM bandwidth ratio (~1.76x), not compute.
+    EXPECT_LT(h, a);
+    EXPECT_NEAR(a / h, 1.6, 0.25);
+}
+
+TEST(Inference, TensorParallelismCutsMemoryTimeAddsComm)
+{
+    TransformerConfig cfg = models::llama2_13b();
+    System sys = presets::dgxA100(1);
+    InferenceReport tp1 = run(cfg, sys, 1);
+    InferenceReport tp8 = run(cfg, sys, 8);
+    EXPECT_LT(tp8.decode.memoryTime, tp1.decode.memoryTime / 6.0);
+    EXPECT_DOUBLE_EQ(tp1.decode.commTime, 0.0);
+    EXPECT_GT(tp8.decode.commTime, 0.0);
+    // Poor scaling overall (paper Sec. 4.3).
+    EXPECT_GT(tp8.totalLatency, tp1.totalLatency / 4.0);
+}
+
+TEST(Inference, EightGpuCommDominatesMemory)
+{
+    // Paper Sec. 6.2: at 8 GPUs communication ~1.6x memory time.
+    InferenceReport rep = run(models::llama2_13b(),
+                              presets::dgxA100(1), 8);
+    double ratio = rep.decode.commTime / rep.decode.memoryTime;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 2.5);
+}
+
+TEST(Inference, BatchingImprovesThroughputAtModestLatencyCost)
+{
+    TransformerConfig cfg = models::llama2_13b();
+    System sys = presets::dgxA100(1);
+    double t1 = run(cfg, sys, 1, 1).totalLatency;
+    double t16 = run(cfg, sys, 1, 16).totalLatency;
+    // Latency grows far less than 16x (paper: "the growth of latency
+    // with B is rather modest").
+    EXPECT_GT(t16, t1);
+    EXPECT_LT(t16, t1 * 4.0);
+}
+
+TEST(Inference, LongerGenerationCostsLinearly)
+{
+    TransformerConfig cfg = models::llama2_7b();
+    System sys = presets::dgxA100(1);
+    double t200 = run(cfg, sys, 1, 1, 200, 200).decode.time;
+    double t400 = run(cfg, sys, 1, 1, 200, 400).decode.time;
+    EXPECT_GT(t400, t200 * 1.9);
+    EXPECT_LT(t400, t200 * 2.3);  // slightly superlinear (KV growth)
+}
+
+TEST(Inference, KvCacheGrowsWithContext)
+{
+    TransformerConfig cfg = models::llama2_7b();
+    System sys = presets::dgxA100(1);
+    InferenceReport s = run(cfg, sys, 1, 1, 100, 100);
+    InferenceReport l = run(cfg, sys, 1, 1, 1000, 1000);
+    EXPECT_DOUBLE_EQ(l.kvCacheBytes, s.kvCacheBytes * 10.0);
+}
+
+TEST(Inference, FitFlagReflectsCapacity)
+{
+    // Llama2-70B fp16 does not fit a single A100-80GB.
+    InferenceReport rep = run(models::llama2_70b(),
+                              presets::dgxA100(1), 1);
+    EXPECT_FALSE(rep.fitsDeviceMemory);
+    EXPECT_TRUE(run(models::llama2_70b(), presets::dgxA100(1), 2)
+                    .fitsDeviceMemory);
+}
+
+TEST(Inference, PrefillTableHasTheSixPaperRows)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = 1;
+    std::vector<GemmBoundRow> rows = prefillGemmTable(
+        presets::a100_80gb(), models::llama2_13b(), opts);
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].name, "qkv-proj");
+    EXPECT_EQ(rows[1].name, "single-head qk^T");
+    EXPECT_EQ(rows[2].name, "single-head attn-v");
+    EXPECT_EQ(rows[3].name, "attn-out");
+    // Per-head attention rows are memory-bound on A100 (Table 4).
+    EXPECT_EQ(rows[1].boundType, "DRAM");
+    EXPECT_EQ(rows[2].boundType, "DRAM");
+    // Projection row is compute-bound on A100.
+    EXPECT_EQ(rows[0].boundType, "compute");
+}
+
+TEST(Inference, H100PrefillAllMemoryBound)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = 1;
+    for (const GemmBoundRow &row : prefillGemmTable(
+             presets::h100_sxm(), models::llama2_13b(), opts)) {
+        EXPECT_NE(row.boundType, "compute") << row.name;
+    }
+}
+
+TEST(Inference, DecodeTableAllMemoryBound)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = 1;
+    for (const GemmBoundRow &row : decodeGemmTable(
+             presets::a100_80gb(), models::llama2_13b(), opts, 300)) {
+        EXPECT_EQ(row.boundType, "DRAM") << row.name;
+    }
+}
+
+TEST(Inference, PipelineParallelServesOversizedModels)
+{
+    // Llama3-405B fp16 (~755 GiB of weights) exceeds one 8x H100
+    // node; TP8 x PP2 across two nodes fits and pays per-token hops.
+    TransformerConfig cfg = models::llama3_405b();
+    System sys = presets::dgxH100(2);
+
+    InferenceOptions tp_only;
+    tp_only.tensorParallel = 8;
+    EXPECT_FALSE(
+        evaluateInference(cfg, sys, tp_only).fitsDeviceMemory);
+
+    InferenceOptions pp;
+    pp.tensorParallel = 8;
+    pp.pipelineParallel = 2;
+    InferenceReport rep = evaluateInference(cfg, sys, pp);
+    EXPECT_TRUE(rep.fitsDeviceMemory);
+    EXPECT_GT(rep.decode.commTime, 0.0);
+
+    // The pipeline hop cost is one p2p per token per boundary: small
+    // next to the per-layer TP all-reduces.
+    InferenceOptions pp_only = pp;
+    pp_only.tensorParallel = 8;
+    double with_pp = rep.totalLatency;
+    EXPECT_GT(with_pp, 0.0);
+    // Layers must divide by PP.
+    InferenceOptions bad = pp;
+    bad.pipelineParallel = 4;  // 126 % 4 != 0
+    EXPECT_THROW(evaluateInference(cfg, sys, bad), ConfigError);
+}
+
+TEST(Inference, RejectsInvalidOptions)
+{
+    System sys = presets::dgxA100(1);
+    InferenceOptions opts;
+    opts.batch = 0;
+    EXPECT_THROW(evaluateInference(models::llama2_7b(), sys, opts),
+                 ConfigError);
+    opts.batch = 1;
+    opts.tensorParallel = 16;  // more than the system has
+    EXPECT_THROW(evaluateInference(models::llama2_7b(), sys, opts),
+                 ConfigError);
+}
+
+// Property sweep: latency decreases monotonically with DRAM bandwidth
+// (Fig. 9's driving mechanism), saturating once L2 binds.
+class DramSweepTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(DramSweepTest, LatencyImprovesWithBandwidth)
+{
+    double scale = GetParam();
+    Device base = presets::a100_80gb();
+    Device faster = presets::withDram(
+        base, "X", base.dram().bandwidth * scale, base.dram().capacity);
+    System s0 = makeSystem(base, 8, 1, presets::nvlink3(),
+                           presets::ndrInfiniBand());
+    System s1 = makeSystem(faster, 8, 1, presets::nvlink3(),
+                           presets::ndrInfiniBand());
+    double t0 = run(models::llama2_13b(), s0, 1).totalLatency;
+    double t1 = run(models::llama2_13b(), s1, 1).totalLatency;
+    EXPECT_LT(t1, t0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DramSweepTest,
+                         ::testing::Values(1.3, 1.8, 2.5, 3.6));
+
+} // namespace
+} // namespace optimus

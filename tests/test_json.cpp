@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the JSON value type, parser and writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace optimus {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    JsonValue j = JsonValue::parse(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+    ASSERT_TRUE(j.isObject());
+    EXPECT_EQ(j.size(), 3u);
+    const auto &arr = j.at("a").asArray();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_DOUBLE_EQ(arr[1].asNumber(), 2.0);
+    EXPECT_TRUE(arr[2].at("b").asBool());
+    EXPECT_TRUE(j.at("c").at("d").isNull());
+}
+
+TEST(Json, StringEscapes)
+{
+    JsonValue j = JsonValue::parse(R"("line\nquote\"tab\tA")");
+    EXPECT_EQ(j.asString(), "line\nquote\"tab\tA");
+    // Unicode beyond ASCII encodes as UTF-8.
+    EXPECT_EQ(JsonValue::parse(R"("é")").asString(), "\xc3\xa9");
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    const std::string text =
+        R"({"name":"A100","bw":1.9e+12,"levels":[1,2,3],)"
+        R"("ok":true,"none":null})";
+    JsonValue j = JsonValue::parse(text);
+    JsonValue again = JsonValue::parse(j.dump());
+    EXPECT_EQ(again.at("name").asString(), "A100");
+    EXPECT_DOUBLE_EQ(again.at("bw").asNumber(), 1.9e12);
+    EXPECT_EQ(again.at("levels").size(), 3u);
+    EXPECT_TRUE(again.at("ok").asBool());
+    EXPECT_TRUE(again.at("none").isNull());
+}
+
+TEST(Json, PreservesMemberOrder)
+{
+    JsonValue j = JsonValue::object();
+    j.set("z", JsonValue::number(1));
+    j.set("a", JsonValue::number(2));
+    j.set("m", JsonValue::number(3));
+    EXPECT_EQ(j.dump(), R"({"z":1,"a":2,"m":3})");
+    // set() on an existing key replaces in place.
+    j.set("a", JsonValue::number(9));
+    EXPECT_EQ(j.dump(), R"({"z":1,"a":9,"m":3})");
+}
+
+TEST(Json, PrettyPrintIndents)
+{
+    JsonValue j = JsonValue::object();
+    j.set("k", JsonValue::array().push(JsonValue::number(1)));
+    EXPECT_EQ(j.dump(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, IntegerAccessors)
+{
+    EXPECT_EQ(JsonValue::parse("7").asInt(), 7);
+    EXPECT_THROW(JsonValue::parse("7.5").asInt(), ConfigError);
+    JsonValue j = JsonValue::parse(R"({"n": 3})");
+    EXPECT_EQ(j.getInt("n", 0), 3);
+    EXPECT_EQ(j.getInt("missing", 11), 11);
+    EXPECT_EQ(j.getString("missing", "dflt"), "dflt");
+    EXPECT_TRUE(j.getBool("missing", true));
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse(""), ConfigError);
+    EXPECT_THROW(JsonValue::parse("{"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("[1,]"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("tru"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("1 2"), ConfigError);
+    EXPECT_THROW(JsonValue::parse("nan"), ConfigError);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    JsonValue j = JsonValue::parse("[1]");
+    EXPECT_THROW(j.asObject(), ConfigError);
+    EXPECT_THROW(j.at("x"), ConfigError);
+    EXPECT_THROW(j.set("x", JsonValue()), ConfigError);
+    JsonValue num = JsonValue::number(1);
+    EXPECT_THROW(num.asString(), ConfigError);
+    EXPECT_THROW(num.push(JsonValue()), ConfigError);
+    EXPECT_THROW(num.size(), ConfigError);
+}
+
+TEST(Json, EscapesOnOutput)
+{
+    JsonValue j = JsonValue::string("a\"b\\c\nd");
+    EXPECT_EQ(j.dump(), R"("a\"b\\c\nd")");
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for KV-cache quantization: cache footprint, attention read
+ * traffic and serving capacity with fp8/int8 caches under fp16
+ * compute.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "inference/engine.h"
+#include "inference/serving.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+TEST(KvQuant, HalvesCacheFootprint)
+{
+    System sys = presets::dgxA100(1);
+    InferenceOptions fp16;
+    fp16.promptLength = 4000;
+    fp16.generateLength = 96;
+    InferenceOptions fp8 = fp16;
+    fp8.kvPrecision = Precision::FP8;
+
+    InferenceReport a =
+        evaluateInference(models::llama2_13b(), sys, fp16);
+    InferenceReport b =
+        evaluateInference(models::llama2_13b(), sys, fp8);
+    EXPECT_DOUBLE_EQ(b.kvCacheBytes, a.kvCacheBytes / 2.0);
+    EXPECT_DOUBLE_EQ(b.weightBytes, a.weightBytes);  // weights fp16
+}
+
+TEST(KvQuant, SpeedsUpLongContextDecode)
+{
+    // At long context the attention reads are a real share of the
+    // decode step; halving them must show up.
+    System sys = presets::dgxA100(1);
+    InferenceOptions fp16;
+    fp16.promptLength = 16384;
+    fp16.generateLength = 32;
+    fp16.batch = 8;
+    InferenceOptions fp8 = fp16;
+    fp8.kvPrecision = Precision::FP8;
+
+    double t16 = evaluateInference(models::llama2_7b(), sys, fp16)
+                     .decode.time;
+    double t8 = evaluateInference(models::llama2_7b(), sys, fp8)
+                    .decode.time;
+    EXPECT_LT(t8, t16 * 0.95);
+}
+
+TEST(KvQuant, ExtendsServableBatch)
+{
+    // 13B on one A100 at 3500+500 context: the fp8 cache admits a
+    // larger max batch than fp16.
+    System sys = presets::dgxA100(1);
+    ServingOptions fp16;
+    fp16.promptLength = 3500;
+    fp16.generateLength = 500;
+    ServingOptions fp8 = fp16;
+    fp8.kvPrecision = Precision::FP8;
+
+    ServingPoint a =
+        maxThroughputPoint(models::llama2_13b(), sys, fp16);
+    ServingPoint b =
+        maxThroughputPoint(models::llama2_13b(), sys, fp8);
+    EXPECT_GT(b.batch, a.batch);
+    EXPECT_GT(b.tokensPerSecond, a.tokensPerSecond);
+}
+
+TEST(KvQuant, ShortContextBarelyChanges)
+{
+    // At 200+200 tokens the weights dominate: quantizing the cache
+    // moves latency by well under 5%.
+    System sys = presets::dgxA100(1);
+    InferenceOptions fp16;
+    InferenceOptions fp8;
+    fp8.kvPrecision = Precision::FP8;
+    double a = evaluateInference(models::llama2_13b(), sys, fp16)
+                   .totalLatency;
+    double b = evaluateInference(models::llama2_13b(), sys, fp8)
+                   .totalLatency;
+    EXPECT_NEAR(b, a, a * 0.05);
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the mixture-of-experts extension: model accounting, layer
+ * graphs, expert parallelism, all-to-all communication, memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/collective.h"
+#include "hw/presets.h"
+#include "inference/engine.h"
+#include "memory/footprint.h"
+#include "training/trainer.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/graph.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+TEST(Moe, MixtralParameterCount)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    EXPECT_TRUE(m.isMoe());
+    // Mixtral 8x7B has ~46.7B total parameters.
+    EXPECT_NEAR(m.parameterCount(), 46.7e9, 2e9);
+    // Active parameters per token (top-2 of 8 experts) ~12.9B.
+    double active = double(m.numLayers) *
+                        (m.attentionParameterCount() +
+                         double(m.topK) * m.expertParameterCount()) +
+                    m.embeddingParameterCount();
+    EXPECT_NEAR(active, 12.9e9, 1e9);
+}
+
+TEST(Moe, ValidationRules)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    m.topK = 9;  // more than experts
+    EXPECT_THROW(m.validate(), ConfigError);
+    m = models::mixtral8x7b();
+    m.numExperts = 1;
+    m.topK = 2;  // dense model must route top-1
+    EXPECT_THROW(m.validate(), ConfigError);
+}
+
+TEST(Moe, GraphHasRouterAndExperts)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    LayerGraphParams p;
+    p.batch = 1;
+    p.seq = 1024;
+    bool router = false, experts = false, dense = false;
+    for (const Op &op : layerForwardOps(m, p)) {
+        if (op.name == "moe-router")
+            router = true;
+        if (op.name == "moe-gate-up")
+            experts = true;
+        if (op.name == "mlp-gate-up")
+            dense = true;
+    }
+    EXPECT_TRUE(router);
+    EXPECT_TRUE(experts);
+    EXPECT_FALSE(dense);
+}
+
+TEST(Moe, FfnFlopsScaleWithTopK)
+{
+    TransformerConfig moe = models::mixtral8x7b();
+    TransformerConfig dense = moe;
+    dense.numExperts = 1;
+    dense.topK = 1;
+
+    LayerGraphParams p;
+    p.batch = 1;
+    p.seq = 2048;
+
+    auto ffn_flops = [&](const TransformerConfig &cfg) {
+        double total = 0.0;
+        for (const Op &op : layerForwardOps(cfg, p)) {
+            if (op.kind == OpKind::Gemm &&
+                (op.name.rfind("moe-gate", 0) == 0 ||
+                 op.name.rfind("moe-fc", 0) == 0 ||
+                 op.name.rfind("mlp-", 0) == 0))
+                total += opFlops(op);
+        }
+        return total;
+    };
+    // Top-2 routing does twice the dense FFN work per token.
+    EXPECT_NEAR(ffn_flops(moe), 2.0 * ffn_flops(dense),
+                ffn_flops(dense) * 0.01);
+}
+
+TEST(Moe, DecodeTouchesOnlyActiveExperts)
+{
+    // Batch 1, top-2: exactly two experts' weights stream from DRAM.
+    TransformerConfig m = models::mixtral8x7b();
+    Device dev = presets::a100_80gb();
+    double ffn_dram = 0.0;
+    for (const Op &op : decodeLayerOps(m, 1, 256, 1,
+                                       Precision::FP16)) {
+        if (op.kind == OpKind::Gemm &&
+            op.name.rfind("moe-", 0) == 0 &&
+            op.name != "moe-router")
+            ffn_dram += evaluateOp(dev, op).bytesPerLevel[0];
+    }
+    double two_experts =
+        2.0 * m.expertParameterCount() * 2.0;  // fp16 bytes
+    EXPECT_NEAR(ffn_dram, two_experts, two_experts * 0.05);
+}
+
+TEST(Moe, ExpertParallelismShardsWeights)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    ParallelConfig ep1;
+    ep1.dataParallel = 8;
+    ParallelConfig ep8 = ep1;
+    ep8.expertParallel = 8;
+    double full = parametersPerDevice(m, ep1);
+    double sharded = parametersPerDevice(m, ep8);
+    EXPECT_LT(sharded, full / 3.0);
+    EXPECT_GT(sharded, full / 8.0);  // attention is replicated
+}
+
+TEST(Moe, ExpertParallelValidation)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    System sys = presets::dgxA100(1);
+    ParallelConfig par;
+    par.dataParallel = 8;
+    par.expertParallel = 3;  // does not divide 8 experts
+    EXPECT_THROW(par.validate(m, sys, 8), ConfigError);
+    par.expertParallel = 4;
+    EXPECT_NO_THROW(par.validate(m, sys, 8));
+    // EP on a dense model is rejected.
+    par.expertParallel = 4;
+    EXPECT_THROW(par.validate(models::llama2_13b(), sys, 8),
+                 ConfigError);
+}
+
+TEST(Moe, AllToAllCostModel)
+{
+    NetworkLink l;
+    l.name = "ideal";
+    l.bandwidth = 100 * GBps;
+    l.latency = 0.0;
+    l.halfUtilVolume = 0.0;
+    l.maxUtilization = 1.0;
+    l.collectiveOverhead = 0.0;
+    CollectiveResult r = collectiveTime(CollectiveKind::AllToAll,
+                                        8 * MB, 8, l);
+    // Each device sends 7/8 of its buffer.
+    EXPECT_NEAR(r.bandwidthTime, 8 * MB * 7.0 / (8.0 * 100 * GBps),
+                1e-12);
+    EXPECT_STREQ(collectiveName(CollectiveKind::AllToAll),
+                 "all-to-all");
+}
+
+TEST(Moe, TrainingChargesDispatchCombine)
+{
+    TransformerConfig m = models::mixtral8x7b();
+    System sys = presets::dgxA100(4);
+    ParallelConfig par;
+    par.dataParallel = 8;
+    par.tensorParallel = 4;
+
+    TrainingReport ep1 = evaluateTraining(m, sys, par, 64, {});
+    EXPECT_DOUBLE_EQ(ep1.time.epComm, 0.0);
+
+    par.expertParallel = 8;
+    TrainingReport ep8 = evaluateTraining(m, sys, par, 64, {});
+    EXPECT_GT(ep8.time.epComm, 0.0);
+    // Sharding the experts shrinks per-device memory.
+    EXPECT_LT(ep8.memory.weights, ep1.memory.weights);
+}
+
+TEST(Moe, ActivationsScaleWithTopK)
+{
+    TransformerConfig moe = models::mixtral8x7b();
+    TransformerConfig dense = moe;
+    dense.numExperts = 1;
+    dense.topK = 1;
+    ActivationParams p;
+    p.seq = 2048;
+    double a_moe = layerActivations(moe, p).mlp;
+    double a_dense = layerActivations(dense, p).mlp;
+    EXPECT_GT(a_moe, 1.6 * a_dense);
+    EXPECT_LT(a_moe, 2.1 * a_dense);
+}
+
+TEST(Moe, InferenceFasterThanDenseOfEqualTotalSize)
+{
+    // Mixtral-8x7B (47B total, 13B active) should decode much faster
+    // than a dense ~47B model on the same hardware: only the active
+    // experts' weights stream per token.
+    TransformerConfig moe = models::mixtral8x7b();
+    TransformerConfig dense47 = models::llama2_70b();  // 69B, slower
+
+    System sys = presets::dgxA100(1);
+    InferenceOptions opts;
+    opts.tensorParallel = 2;
+    double t_moe =
+        evaluateInference(moe, sys, opts).totalLatency;
+    double t_dense =
+        evaluateInference(dense47, sys, opts).totalLatency;
+    EXPECT_LT(t_moe, t_dense / 2.0);
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the parallelism module: mapping validation and
+ * pipeline-schedule cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "parallel/pipeline.h"
+#include "util/error.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+ParallelConfig
+mapping(long long dp, long long tp, long long pp)
+{
+    ParallelConfig par;
+    par.dataParallel = dp;
+    par.tensorParallel = tp;
+    par.pipelineParallel = pp;
+    return par;
+}
+
+TEST(ParallelConfig, TotalsAndLabel)
+{
+    ParallelConfig par = mapping(4, 8, 2);
+    EXPECT_EQ(par.totalDevices(), 64);
+    EXPECT_EQ(par.label(), "4-8-2-1");
+    par.sequenceParallel = true;
+    EXPECT_EQ(par.label(), "4-8-2-8");
+}
+
+TEST(ParallelConfig, MicrobatchMath)
+{
+    ParallelConfig par = mapping(4, 1, 1);
+    par.microbatchSize = 2;
+    EXPECT_EQ(par.microbatches(64), 8);
+    EXPECT_THROW(par.microbatches(66), ConfigError);  // not divisible
+    EXPECT_THROW(par.microbatches(0), ConfigError);
+}
+
+TEST(ParallelConfig, ValidatesAgainstModelAndSystem)
+{
+    TransformerConfig cfg = models::gpt175b();
+    System sys = presets::dgxA100(8);  // 64 GPUs
+
+    ParallelConfig ok = mapping(1, 8, 8);
+    EXPECT_NO_THROW(ok.validate(cfg, sys, 64));
+
+    // Wrong device count.
+    EXPECT_THROW(mapping(2, 8, 8).validate(cfg, sys, 64), ConfigError);
+
+    // TP beyond a node.
+    System one = presets::dgxA100(8);
+    ParallelConfig tp16 = mapping(1, 16, 4);
+    EXPECT_THROW(tp16.validate(cfg, one, 64), ConfigError);
+
+    // Layers not divisible by PP.
+    ParallelConfig pp7 = mapping(1, 8, 7);
+    System sys7 = presets::dgxA100(7);
+    EXPECT_THROW(pp7.validate(cfg, sys7, 56), ConfigError);
+
+    // Heads not divisible by TP.
+    TransformerConfig odd = cfg;
+    odd.numHeads = 96;
+    odd.hiddenSize = 12288;
+    ParallelConfig tp5 = mapping(1, 5, 1);
+    System sys5 = makeSystem(presets::a100_80gb(), 5, 1,
+                             presets::nvlink3(),
+                             presets::hdrInfiniBand());
+    EXPECT_THROW(tp5.validate(odd, sys5, 8), ConfigError);
+}
+
+TEST(ParallelConfig, InterleaveNeedsInterleavedSchedule)
+{
+    TransformerConfig cfg = models::gpt175b();
+    System sys = presets::dgxA100(8);
+    ParallelConfig par = mapping(1, 8, 8);
+    par.interleavedStages = 4;
+    EXPECT_THROW(par.validate(cfg, sys, 64), ConfigError);
+    par.schedule = PipelineSchedule::Interleaved1F1B;
+    EXPECT_NO_THROW(par.validate(cfg, sys, 64));
+    // 96 layers must divide by pp * v.
+    par.interleavedStages = 5;
+    EXPECT_THROW(par.validate(cfg, sys, 64), ConfigError);
+}
+
+TEST(Pipeline, BubbleFractions)
+{
+    // (p-1)/m for GPipe and 1F1B; divided by v when interleaved.
+    PipelineCost gpipe = pipelineCost(PipelineSchedule::GPipe, 8, 64,
+                                      1);
+    PipelineCost f1b = pipelineCost(PipelineSchedule::OneFOneB, 8, 64,
+                                    1);
+    PipelineCost il = pipelineCost(PipelineSchedule::Interleaved1F1B,
+                                   8, 64, 4);
+    EXPECT_DOUBLE_EQ(gpipe.bubbleFraction, 7.0 / 64.0);
+    EXPECT_DOUBLE_EQ(f1b.bubbleFraction, 7.0 / 64.0);
+    EXPECT_DOUBLE_EQ(il.bubbleFraction, 7.0 / (64.0 * 4.0));
+}
+
+TEST(Pipeline, InflightActivations)
+{
+    // GPipe keeps every microbatch; 1F1B at most p.
+    EXPECT_DOUBLE_EQ(
+        pipelineCost(PipelineSchedule::GPipe, 8, 64, 1)
+            .inflightMicrobatches,
+        64.0);
+    EXPECT_DOUBLE_EQ(
+        pipelineCost(PipelineSchedule::OneFOneB, 8, 64, 1)
+            .inflightMicrobatches,
+        8.0);
+    // Fewer microbatches than stages: bounded by m.
+    EXPECT_DOUBLE_EQ(
+        pipelineCost(PipelineSchedule::OneFOneB, 8, 4, 1)
+            .inflightMicrobatches,
+        4.0);
+    // Interleaving holds slightly more than p.
+    double il = pipelineCost(PipelineSchedule::Interleaved1F1B, 8, 64,
+                             4)
+                    .inflightMicrobatches;
+    EXPECT_GT(il, 8.0);
+    EXPECT_LT(il, 12.0);
+}
+
+TEST(Pipeline, InterleavingMultipliesP2p)
+{
+    EXPECT_DOUBLE_EQ(
+        pipelineCost(PipelineSchedule::OneFOneB, 8, 64, 1)
+            .p2pPerMicrobatch,
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        pipelineCost(PipelineSchedule::Interleaved1F1B, 8, 64, 4)
+            .p2pPerMicrobatch,
+        8.0);
+}
+
+TEST(Pipeline, SingleStageHasNoBubble)
+{
+    PipelineCost pc = pipelineCost(PipelineSchedule::OneFOneB, 1, 16,
+                                   1);
+    EXPECT_DOUBLE_EQ(pc.bubbleFraction, 0.0);
+    EXPECT_DOUBLE_EQ(pc.p2pPerMicrobatch, 0.0);
+}
+
+TEST(Pipeline, RejectsBadInputs)
+{
+    EXPECT_THROW(pipelineCost(PipelineSchedule::GPipe, 0, 4, 1),
+                 ConfigError);
+    EXPECT_THROW(pipelineCost(PipelineSchedule::GPipe, 4, 0, 1),
+                 ConfigError);
+    EXPECT_THROW(pipelineCost(PipelineSchedule::GPipe, 4, 4, 0),
+                 ConfigError);
+}
+
+TEST(Pipeline, ScheduleNames)
+{
+    EXPECT_STREQ(scheduleName(PipelineSchedule::GPipe), "gpipe");
+    EXPECT_STREQ(scheduleName(PipelineSchedule::OneFOneB), "1f1b");
+    EXPECT_STREQ(scheduleName(PipelineSchedule::Interleaved1F1B),
+                 "interleaved");
+}
+
+// Property: bubble fraction decreases monotonically with microbatch
+// count and interleave depth.
+class BubbleMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<long long, long long>>
+{};
+
+TEST_P(BubbleMonotoneTest, ShrinksWithMoreMicrobatches)
+{
+    auto [m, v] = GetParam();
+    double a = pipelineCost(PipelineSchedule::Interleaved1F1B, 8, m, v)
+                   .bubbleFraction;
+    double b = pipelineCost(PipelineSchedule::Interleaved1F1B, 8,
+                            m * 2, v)
+                   .bubbleFraction;
+    double c = pipelineCost(PipelineSchedule::Interleaved1F1B, 8, m,
+                            v * 2)
+                   .bubbleFraction;
+    EXPECT_LT(b, a);
+    EXPECT_LT(c, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BubbleMonotoneTest,
+    ::testing::Combine(::testing::Values(8LL, 32LL, 128LL),
+                       ::testing::Values(1LL, 2LL, 4LL)));
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the parallelization planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "memory/footprint.h"
+#include "planner/planner.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+TEST(TrainingPlanner, FindsFittingPlansAndRanksThem)
+{
+    TrainingPlannerOptions opts;
+    opts.keep = 50;
+    std::vector<TrainingPlan> plans = planTraining(
+        models::gpt175b(), presets::dgxA100(16), 128, opts);
+    ASSERT_FALSE(plans.empty());
+    for (size_t i = 1; i < plans.size(); ++i) {
+        EXPECT_LE(plans[i - 1].report.timePerBatch,
+                  plans[i].report.timePerBatch);
+    }
+    for (const TrainingPlan &p : plans) {
+        EXPECT_EQ(p.parallel.totalDevices(), 128);
+        EXPECT_LE(p.report.memory.total(), 80 * GiB);
+    }
+}
+
+TEST(TrainingPlanner, BestPlanBeatsANaiveMapping)
+{
+    System sys = presets::dgxA100(16);
+    TrainingPlan best = bestTrainingPlan(models::gpt175b(), sys, 128);
+
+    // A valid but clumsy hand mapping: PP-heavy, full recompute.
+    ParallelConfig naive;
+    naive.dataParallel = 2;
+    naive.tensorParallel = 2;
+    naive.pipelineParallel = 32;
+    TrainingOptions nopts;
+    nopts.recompute = Recompute::Full;
+    double naive_t =
+        evaluateTraining(models::gpt175b(), sys, naive, 128, nopts)
+            .timePerBatch;
+
+    EXPECT_LT(best.report.timePerBatch, naive_t);
+    EXPECT_GT(best.report.mfu, 0.40);
+}
+
+TEST(TrainingPlanner, RespectsMemoryOverPerformance)
+{
+    // Without recomputation GPT-175B TP8/PP2-style plans overflow;
+    // every returned plan must fit.
+    TrainingPlannerOptions opts;
+    opts.recomputeChoices = {Recompute::None};
+    std::vector<TrainingPlan> plans = planTraining(
+        models::gpt175b(), presets::dgxA100(8), 64, opts);
+    for (const TrainingPlan &p : plans) {
+        TrainingMemory mem = trainingMemoryPerDevice(
+            models::gpt175b(), p.parallel, 64, 2048,
+            p.options.recompute, p.options.memory);
+        EXPECT_LE(mem.total(), 80 * GiB);
+    }
+}
+
+TEST(TrainingPlanner, ThrowsWhenNothingFits)
+{
+    // One A100 node cannot hold GPT-530B under any mapping.
+    EXPECT_THROW(
+        bestTrainingPlan(models::gpt530b(), presets::dgxA100(1), 8),
+        ConfigError);
+}
+
+TEST(TrainingPlanner, ZeroStageWidensTheSpace)
+{
+    // Allowing ZeRO adds fitting plans (every plain plan still fits,
+    // and DP-sharded variants join) for a memory-tight MoE setup.
+    TrainingPlannerOptions plain;
+    plain.recomputeChoices = {Recompute::Selective};
+    plain.zeroStages = {0};
+    plain.keep = 1000;
+    TrainingPlannerOptions zero = plain;
+    zero.zeroStages = {0, 2};
+
+    System sys = presets::dgxA100(4);
+    size_t n_plain =
+        planTraining(models::mixtral8x7b(), sys, 32, plain).size();
+    size_t n_zero =
+        planTraining(models::mixtral8x7b(), sys, 32, zero).size();
+    EXPECT_GT(n_plain, 0u);
+    EXPECT_GT(n_zero, n_plain);
+}
+
+TEST(ServingPlanner, RanksByPerDeviceThroughput)
+{
+    ServingPlannerOptions opts;
+    opts.serving.promptLength = 512;
+    opts.serving.generateLength = 256;
+    std::vector<ServingPlan> plans = planServing(
+        models::llama2_13b(), presets::dgxA100(1), opts);
+    ASSERT_FALSE(plans.empty());
+    for (size_t i = 1; i < plans.size(); ++i) {
+        EXPECT_GE(plans[i - 1].tokensPerSecondPerDevice,
+                  plans[i].tokensPerSecondPerDevice);
+    }
+    // Moderate TP wins per-device (sharded KV allows bigger
+    // batches); high TP loses to the per-token all-reduces.
+    long long winner = plans.front().tensorParallel;
+    EXPECT_LE(winner, 4);
+    EXPECT_GT(plans.front().tokensPerSecondPerDevice,
+              plans.back().tokensPerSecondPerDevice);
+}
+
+TEST(ServingPlanner, LatencySloCapsBatch)
+{
+    ServingPlannerOptions loose;
+    loose.serving.promptLength = 512;
+    loose.serving.generateLength = 256;
+    ServingPlannerOptions tight = loose;
+    tight.maxInterTokenLatency = 25e-3;
+
+    System sys = presets::dgxA100(1);
+    ServingPlan free_plan =
+        planServing(models::llama2_13b(), sys, loose).front();
+    std::vector<ServingPlan> tight_plans =
+        planServing(models::llama2_13b(), sys, tight);
+    ASSERT_FALSE(tight_plans.empty());
+    for (const ServingPlan &p : tight_plans)
+        EXPECT_LE(p.point.interTokenLatency, 25e-3);
+    EXPECT_LE(tight_plans.front().point.batch,
+              free_plan.point.batch);
+}
+
+TEST(ServingPlanner, SkipsTooSmallDeployments)
+{
+    // 70B needs at least 2 A100s: TP1 must not appear.
+    ServingPlannerOptions opts;
+    std::vector<ServingPlan> plans = planServing(
+        models::llama2_70b(), presets::dgxA100(1), opts);
+    ASSERT_FALSE(plans.empty());
+    for (const ServingPlan &p : plans)
+        EXPECT_GE(p.tensorParallel, 2);
+}
+
+} // namespace
+} // namespace optimus

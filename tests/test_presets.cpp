@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Sanity tests over every built-in preset: each device, link, system
+ * and model validates, has physically sensible numbers, and the
+ * registries expose exactly the presets the headers declare.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/serialize.h"
+#include "hw/presets.h"
+#include "tech/dram.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+std::vector<Device>
+allDevices()
+{
+    return {presets::a100_80gb(), presets::h100_sxm(),
+            presets::h200_sxm(),  presets::b100(),
+            presets::b200(),      presets::tpuV4(),
+            presets::tpuV5p()};
+}
+
+TEST(Presets, EveryDeviceValidatesAndIsSane)
+{
+    for (const Device &d : allDevices()) {
+        SCOPED_TRACE(d.name);
+        EXPECT_NO_THROW(d.validate());
+        // Every accelerator here exceeds 100 TFLOPS and 1 GB/s..10TB/s
+        // of DRAM bandwidth; hierarchy shrinks inward.
+        EXPECT_GE(d.matrixFlops(Precision::FP16), 100 * TFLOPS);
+        EXPECT_GE(d.dram().bandwidth, 500 * GBps);
+        EXPECT_LE(d.dram().bandwidth, 12 * TBps);
+        EXPECT_GE(d.dram().capacity, 16 * GiB);
+        for (size_t i = 1; i < d.mem.size(); ++i)
+            EXPECT_LT(d.mem[i].capacity, d.mem[i - 1].capacity);
+        // Calibration knobs inside their domains.
+        EXPECT_GT(d.matrixMaxEfficiency, 0.4);
+        EXPECT_LE(d.matrixMaxEfficiency, 1.0);
+        EXPECT_GT(d.gemvDramUtilization, 0.3);
+        EXPECT_LT(d.kernelLaunchOverhead, 20e-6);
+    }
+}
+
+TEST(Presets, EveryLinkValidates)
+{
+    for (const NetworkLink &l :
+         {presets::nvlink3(), presets::nvlink4(), presets::nvlink5(),
+          presets::hdrInfiniBand(), presets::ndrInfiniBand(),
+          presets::xdrInfiniBand()}) {
+        SCOPED_TRACE(l.name);
+        EXPECT_NO_THROW(l.validate());
+        EXPECT_GT(l.bandwidth, 50 * GBps);
+        EXPECT_LT(l.latency, 50e-6);
+        EXPECT_LT(l.collectiveOverhead, 100e-6);
+    }
+}
+
+TEST(Presets, GenerationalMonotonicity)
+{
+    // Each NVIDIA generation improves both compute and DRAM.
+    std::vector<Device> gens = {presets::a100_80gb(),
+                                presets::h100_sxm(),
+                                presets::h200_sxm(), presets::b200()};
+    for (size_t i = 1; i < gens.size(); ++i) {
+        EXPECT_GE(gens[i].matrixFlops(Precision::FP16),
+                  gens[i - 1].matrixFlops(Precision::FP16));
+        EXPECT_GE(gens[i].dram().bandwidth,
+                  gens[i - 1].dram().bandwidth);
+        EXPECT_GE(gens[i].dram().capacity,
+                  gens[i - 1].dram().capacity);
+    }
+    EXPECT_GT(presets::nvlink5().bandwidth,
+              presets::nvlink4().bandwidth);
+    EXPECT_GT(presets::nvlink4().bandwidth,
+              presets::nvlink3().bandwidth);
+}
+
+TEST(Presets, EveryModelValidates)
+{
+    for (const TransformerConfig &m :
+         {models::gpt7b(), models::gpt22b(), models::gpt175b(),
+          models::gpt310b(), models::gpt530b(), models::gpt1008b(),
+          models::llama2_7b(), models::llama2_13b(),
+          models::llama2_70b(), models::llama3_8b(),
+          models::llama3_70b(), models::llama3_405b(),
+          models::mixtral8x7b()}) {
+        SCOPED_TRACE(m.name);
+        EXPECT_NO_THROW(m.validate());
+        EXPECT_GE(m.headDim(), 64);
+        EXPECT_LE(m.headDim(), 256);
+        EXPECT_GT(m.parameterCount(), 1e9);
+    }
+}
+
+TEST(Presets, RegistryCoversEveryPresetFunction)
+{
+    // Registry names resolve to the same configurations the preset
+    // functions return.
+    EXPECT_DOUBLE_EQ(
+        config::devicePreset("b200").matrixFlops(Precision::FP4),
+        presets::b200().matrixFlops(Precision::FP4));
+    EXPECT_DOUBLE_EQ(config::modelPreset("gpt-530b").parameterCount(),
+                     models::gpt530b().parameterCount());
+    EXPECT_EQ(
+        config::systemPreset("tpu-v4-pod", 2).totalDevices(),
+        presets::tpuV4Pod(2).totalDevices());
+}
+
+TEST(Presets, DramTableOrderedByBandwidth)
+{
+    const auto &sweep = dram::inferenceSweep();
+    for (size_t i = 1; i < sweep.size(); ++i)
+        EXPECT_GT(sweep[i].bandwidth, sweep[i - 1].bandwidth)
+            << sweep[i].name;
+}
+
+TEST(Presets, PaperQuotedBandwidths)
+{
+    // The values the paper's text pins explicitly.
+    EXPECT_DOUBLE_EQ(presets::a100_80gb().dram().bandwidth,
+                     1.9 * TBps);  // "HBM2e (bandwidth of 1.9 TBPs)"
+    EXPECT_DOUBLE_EQ(presets::h100_sxm().dram().bandwidth,
+                     3.35 * TBps);  // "HBM3 (bandwidth of 3.35 TBPs)"
+    EXPECT_DOUBLE_EQ(
+        presets::h100_sxm().matrixFlops(Precision::FP16),
+        989.4 * TFLOPS);  // "compute throughput of H100 ... 989.4"
+    EXPECT_DOUBLE_EQ(presets::hdrInfiniBand().bandwidth,
+                     200 * GBps);  // "HDR InfiniBand (200 GB/s)"
+    EXPECT_DOUBLE_EQ(presets::ndrInfiniBand().bandwidth,
+                     400 * GBps);  // "NDR IB network (400 GB/s)"
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the Scenario facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "hw/presets.h"
+#include "util/error.h"
+#include "util/units.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+ParallelConfig
+mapping175b()
+{
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    par.sequenceParallel = true;
+    return par;
+}
+
+TEST(Scenario, TrainingFacadeMatchesDirectCall)
+{
+    Scenario sc(models::gpt175b(), presets::dgxA100(8), mapping175b(),
+                64);
+    TrainingReport a = sc.train();
+    TrainingReport b = evaluateTraining(
+        models::gpt175b(), presets::dgxA100(8), mapping175b(), 64, {});
+    EXPECT_DOUBLE_EQ(a.timePerBatch, b.timePerBatch);
+    EXPECT_EQ(sc.globalBatch(), 64);
+    EXPECT_EQ(sc.model().name, "GPT-175B");
+}
+
+TEST(Scenario, ValidatesAtConstruction)
+{
+    ParallelConfig bad = mapping175b();
+    bad.dataParallel = 3;  // 192 devices, system has 64
+    EXPECT_THROW(Scenario(models::gpt175b(), presets::dgxA100(8), bad,
+                          192),
+                 ConfigError);
+}
+
+TEST(Scenario, InferenceFacade)
+{
+    InferenceOptions opts;
+    opts.tensorParallel = 4;
+    Scenario sc(models::llama2_13b(), presets::dgxA100(1), opts);
+    InferenceReport rep = sc.infer();
+    EXPECT_GT(rep.totalLatency, 0.0);
+    EXPECT_THROW(sc.train(), ConfigError);
+}
+
+TEST(Scenario, TrainingScenarioRejectsInfer)
+{
+    Scenario sc(models::gpt175b(), presets::dgxA100(8), mapping175b(),
+                64);
+    EXPECT_THROW(sc.infer(), ConfigError);
+}
+
+TEST(Scenario, MemoryAndFitChecks)
+{
+    Scenario sc(models::gpt175b(), presets::dgxA100(8), mapping175b(),
+                64);
+    TrainingMemory mem = sc.memory(Recompute::Selective);
+    EXPECT_GT(mem.total(), 10 * GiB);
+    EXPECT_TRUE(sc.fitsDeviceMemory(Recompute::Selective));
+
+    // Without sequence parallelism, storing everything overflows.
+    ParallelConfig no_sp;
+    no_sp.tensorParallel = 8;
+    no_sp.pipelineParallel = 8;
+    Scenario tight(models::gpt175b(), presets::dgxA100(8), no_sp, 64);
+    EXPECT_FALSE(tight.fitsDeviceMemory(Recompute::None));
+}
+
+} // namespace
+} // namespace optimus

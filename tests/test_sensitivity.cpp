@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the sensitivity / bottleneck-attribution analyzer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.h"
+#include "hw/presets.h"
+#include "inference/engine.h"
+#include "training/trainer.h"
+#include "util/error.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+double
+trainObjective(const System &sys)
+{
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    par.sequenceParallel = true;
+    TrainingOptions opts;
+    opts.recompute = Recompute::Selective;
+    return evaluateTraining(models::gpt175b(), sys, par, 64, opts)
+        .timePerBatch;
+}
+
+double
+decodeObjective(const System &sys)
+{
+    InferenceOptions opts;
+    return evaluateInference(models::llama2_13b(), sys, opts)
+        .totalLatency;
+}
+
+TEST(Sensitivity, TrainingIsComputeBound)
+{
+    std::vector<Sensitivity> s =
+        analyzeSensitivity(presets::dgxA100(8), trainObjective);
+    ASSERT_EQ(s.size(), 6u);
+    // The most binding resource (most negative elasticity) for A100
+    // training is the matrix engine.
+    EXPECT_EQ(s.front().resource, Resource::MatrixCompute);
+    EXPECT_LT(s.front().elasticity, -0.4);
+    // Inter-node network is irrelevant without DP here.
+    for (const Sensitivity &row : s) {
+        if (row.resource == Resource::InterNodeNetwork)
+            EXPECT_GT(row.elasticity, -0.1);
+    }
+}
+
+TEST(Sensitivity, InferenceIsDramBound)
+{
+    std::vector<Sensitivity> s =
+        analyzeSensitivity(presets::dgxA100(1), decodeObjective);
+    EXPECT_EQ(s.front().resource, Resource::DramBandwidth);
+    EXPECT_LT(s.front().elasticity, -0.7);
+    // Doubling DRAM bandwidth nearly halves decode latency.
+    EXPECT_GT(s.front().speedupFrom2x, 1.5);
+}
+
+TEST(Sensitivity, ElasticitiesAreSane)
+{
+    std::vector<Sensitivity> s =
+        analyzeSensitivity(presets::dgxA100(1), decodeObjective);
+    for (const Sensitivity &row : s) {
+        // More of any resource never hurts; no resource can be more
+        // than fully binding.
+        EXPECT_LE(row.elasticity, 0.01) << resourceName(row.resource);
+        EXPECT_GE(row.elasticity, -1.01)
+            << resourceName(row.resource);
+        EXPECT_GE(row.speedupFrom2x, 0.99)
+            << resourceName(row.resource);
+        EXPECT_LE(row.speedupFrom2x, 2.01)
+            << resourceName(row.resource);
+    }
+}
+
+TEST(Sensitivity, TensorParallelInferenceFeelsTheNetwork)
+{
+    auto tp8 = [](const System &sys) {
+        InferenceOptions opts;
+        opts.tensorParallel = 8;
+        return evaluateInference(models::llama2_13b(), sys, opts)
+            .totalLatency;
+    };
+    std::vector<Sensitivity> s =
+        analyzeSensitivity(presets::dgxA100(1), tp8);
+    // At TP8 the per-token all-reduces (software overhead + latency)
+    // rival DRAM: overheads must rank among the top two.
+    EXPECT_TRUE(s[0].resource == Resource::KernelOverhead ||
+                s[1].resource == Resource::KernelOverhead);
+}
+
+TEST(Sensitivity, ScaleResourceIsExact)
+{
+    System sys = presets::dgxA100(1);
+    System fast = scaleResource(sys, Resource::DramBandwidth, 2.0);
+    EXPECT_DOUBLE_EQ(fast.device.dram().bandwidth,
+                     sys.device.dram().bandwidth * 2.0);
+    System net = scaleResource(sys, Resource::InterNodeNetwork, 3.0);
+    EXPECT_DOUBLE_EQ(net.interLink.bandwidth,
+                     sys.interLink.bandwidth * 3.0);
+    System quick = scaleResource(sys, Resource::KernelOverhead, 2.0);
+    EXPECT_DOUBLE_EQ(quick.device.kernelLaunchOverhead,
+                     sys.device.kernelLaunchOverhead / 2.0);
+    EXPECT_THROW(scaleResource(sys, Resource::DramBandwidth, 0.0),
+                 ConfigError);
+}
+
+TEST(Sensitivity, TableRendersSorted)
+{
+    std::vector<Sensitivity> s =
+        analyzeSensitivity(presets::dgxA100(1), decodeObjective);
+    Table t = sensitivityTable(s);
+    EXPECT_EQ(t.rowCount(), 6u);
+    EXPECT_EQ(t.at(0, 0), "DRAM bandwidth");
+}
+
+} // namespace
+} // namespace optimus

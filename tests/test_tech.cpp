@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the technology substrate: logic node table, DRAM and
+ * network technology tables, and the uArch synthesis engine.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.h"
+#include "tech/uarch.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace optimus {
+namespace {
+
+TEST(LogicNodes, SevenNodesFromN12ToN1)
+{
+    const auto &nodes = logicNodes();
+    ASSERT_EQ(nodes.size(), 7u);
+    EXPECT_EQ(nodes.front().name, "N12");
+    EXPECT_EQ(nodes.back().name, "N1");
+    for (size_t i = 1; i < nodes.size(); ++i) {
+        EXPECT_GT(nodes[i].densityScale, nodes[i - 1].densityScale);
+        EXPECT_GT(nodes[i].efficiencyScale,
+                  nodes[i - 1].efficiencyScale);
+    }
+}
+
+TEST(LogicNodes, IsoPerformanceScalingFactors)
+{
+    // Paper Sec. 5.3: 1.8x area and 1.3x power per node step.
+    const LogicNode &n7 = logicNode("N7");
+    EXPECT_EQ(n7.index, 2);
+    EXPECT_NEAR(n7.densityScale, 1.8 * 1.8, 1e-12);
+    EXPECT_NEAR(n7.efficiencyScale, 1.3 * 1.3, 1e-12);
+    EXPECT_THROW(logicNode("N4"), ConfigError);
+}
+
+TEST(DramTech, PaperBandwidths)
+{
+    EXPECT_DOUBLE_EQ(dram::gddr6().bandwidth, 600 * GBps);
+    EXPECT_DOUBLE_EQ(dram::hbm2().bandwidth, 1.0 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbm2e().bandwidth, 1.9 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbm3_26().bandwidth, 2.6 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbm3().bandwidth, 3.35 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbm3e().bandwidth, 4.8 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbm4().bandwidth, 3.3 * TBps);
+    EXPECT_DOUBLE_EQ(dram::hbmx().bandwidth, 6.8 * TBps);
+    EXPECT_EQ(dram::trainingSweep().size(), 4u);
+    EXPECT_EQ(dram::inferenceSweep().size(), 6u);
+}
+
+TEST(NetworkTech, PaperRates)
+{
+    EXPECT_DOUBLE_EQ(nettech::ndrX8().bandwidth, 100 * GBps);
+    EXPECT_DOUBLE_EQ(nettech::xdrX8().bandwidth, 200 * GBps);
+    EXPECT_DOUBLE_EQ(nettech::gdrX8().bandwidth, 400 * GBps);
+    EXPECT_EQ(nettech::scalingSweep().size(), 3u);
+}
+
+TEST(UArch, AnchorReproducesA100Throughput)
+{
+    // Default allocation at N7 with the A100 budget should give an
+    // A100-class device.
+    TechConfig tech;
+    tech.node = logicNode("N7");
+    tech.dram = dram::hbm2e();
+    Device d = buildDevice(tech, UArchAllocation{});
+    EXPECT_NEAR(d.matrixFlops(Precision::FP16), 312 * TFLOPS,
+                0.25 * 312 * TFLOPS);
+    EXPECT_NEAR(d.level("L2").capacity, 40 * MiB, 20 * MiB);
+    EXPECT_DOUBLE_EQ(d.dram().bandwidth, 1.9 * TBps);
+}
+
+TEST(UArch, NodeScalingRaisesThroughput)
+{
+    TechConfig t12, t1;
+    t12.node = logicNode("N12");
+    t12.dram = dram::hbm2e();
+    t1 = t12;
+    t1.node = logicNode("N1");
+    double f12 =
+        buildDevice(t12, {}).matrixFlops(Precision::FP16);
+    double f1 = buildDevice(t1, {}).matrixFlops(Precision::FP16);
+    // Bounded between pure power scaling (1.3^6, if power-limited
+    // throughout) and pure density scaling (1.8^6): the design starts
+    // area-limited at N12 and becomes power-limited at N1.
+    EXPECT_GT(f1, f12 * std::pow(1.3, 6) * 0.99);
+    EXPECT_LT(f1, f12 * std::pow(1.8, 6) * 1.01);
+}
+
+TEST(UArch, MoreComputeAreaMeansLessCache)
+{
+    TechConfig tech;
+    tech.node = logicNode("N5");
+    tech.dram = dram::hbm3_26();
+    UArchAllocation lean{0.3, 0.7};
+    UArchAllocation fat{0.8, 0.7};
+    Device a = buildDevice(tech, lean);
+    Device b = buildDevice(tech, fat);
+    EXPECT_LT(a.matrixFlops(Precision::FP16),
+              b.matrixFlops(Precision::FP16));
+    EXPECT_GT(a.level("L2").capacity, b.level("L2").capacity);
+}
+
+TEST(UArch, PowerBudgetCanBind)
+{
+    TechConfig tech;
+    tech.node = logicNode("N5");
+    tech.dram = dram::hbm3_26();
+    tech.powerBudget = 50.0;  // starved
+    UArchAllocation alloc{0.9, 0.9};
+    Device d = buildDevice(tech, alloc);
+    TechConfig rich = tech;
+    rich.powerBudget = 2000.0;
+    Device d2 = buildDevice(rich, alloc);
+    EXPECT_LT(d.matrixFlops(Precision::FP16),
+              d2.matrixFlops(Precision::FP16));
+}
+
+TEST(UArch, RejectsBadAllocation)
+{
+    TechConfig tech;
+    tech.node = logicNode("N5");
+    tech.dram = dram::hbm2e();
+    EXPECT_THROW(buildDevice(tech, UArchAllocation{0.0, 0.5}),
+                 ConfigError);
+    EXPECT_THROW(buildDevice(tech, UArchAllocation{0.5, 1.0}),
+                 ConfigError);
+    TechConfig bad = tech;
+    bad.areaBudget = -1.0;
+    EXPECT_THROW(buildDevice(bad, UArchAllocation{}), ConfigError);
+}
+
+TEST(UArch, BuildSystemComposes)
+{
+    TechConfig tech;
+    tech.node = logicNode("N3");
+    tech.dram = dram::hbm4();
+    System sys = buildSystem(tech, {}, 8, 16, presets::nvlink4(),
+                             nettech::gdrX8());
+    EXPECT_EQ(sys.totalDevices(), 128);
+    EXPECT_EQ(sys.device.mem.size(), 3u);
+    EXPECT_NO_THROW(sys.validate());
+}
+
+// Property sweep: device throughput is monotone in the node index.
+class NodeSweepTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(NodeSweepTest, MonotoneThroughput)
+{
+    int i = GetParam();
+    const auto &nodes = logicNodes();
+    TechConfig a, b;
+    a.node = nodes[i];
+    b.node = nodes[i + 1];
+    a.dram = b.dram = dram::hbm3_26();
+    EXPECT_LT(buildDevice(a, {}).matrixFlops(Precision::FP16),
+              buildDevice(b, {}).matrixFlops(Precision::FP16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NodeSweepTest,
+                         ::testing::Range(0, 6));
+
+} // namespace
+} // namespace optimus

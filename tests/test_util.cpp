@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the util module: units, error helpers, tables.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace optimus {
+namespace {
+
+TEST(Units, ConstantsAreConsistent)
+{
+    EXPECT_DOUBLE_EQ(KB * 1000.0, MB);
+    EXPECT_DOUBLE_EQ(MB * 1000.0, GB);
+    EXPECT_DOUBLE_EQ(GB * 1000.0, TB);
+    EXPECT_DOUBLE_EQ(KiB * 1024.0, MiB);
+    EXPECT_DOUBLE_EQ(MiB * 1024.0, GiB);
+    EXPECT_DOUBLE_EQ(TFLOPS, 1e12);
+    EXPECT_DOUBLE_EQ(GBps, 1e9);
+}
+
+TEST(Units, FormatBytesPicksSuffix)
+{
+    EXPECT_EQ(formatBytes(512.0), "512.00 B");
+    EXPECT_EQ(formatBytes(80 * GiB), "80.00 GiB");
+    EXPECT_EQ(formatBytes(1.5 * MiB), "1.50 MiB");
+}
+
+TEST(Units, FormatTimeAdaptsScale)
+{
+    EXPECT_EQ(formatTime(1.5), "1.500 s");
+    EXPECT_EQ(formatTime(2.5e-3), "2.500 ms");
+    EXPECT_EQ(formatTime(41.3e-6), "41.300 us");
+    EXPECT_EQ(formatTime(12e-9), "12.000 ns");
+}
+
+TEST(Units, FormatRates)
+{
+    EXPECT_EQ(formatFlops(312 * TFLOPS), "312.00 TFLOPS");
+    EXPECT_EQ(formatBandwidth(1.9 * TBps), "1.90 TB/s");
+}
+
+TEST(Units, RelativeErrorPct)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(90.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(5.0, 0.0), 0.0);
+}
+
+TEST(Error, CheckConfigThrowsWithMessage)
+{
+    EXPECT_NO_THROW(checkConfig(true, "fine"));
+    try {
+        checkConfig(false, "bad thing");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad thing"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, CheckPositive)
+{
+    EXPECT_NO_THROW(checkPositive(1.0, "x"));
+    EXPECT_THROW(checkPositive(0.0, "x"), ConfigError);
+    EXPECT_THROW(checkPositive(-2.0, "x"), ConfigError);
+    EXPECT_THROW(checkPositive(0LL, "n"), ConfigError);
+    EXPECT_NO_THROW(checkPositive(3LL, "n"));
+}
+
+TEST(Table, RowBuilderAndAccess)
+{
+    Table t({"a", "b", "c"});
+    t.beginRow().cell("x").cell(3.14159, 2).cell(7LL);
+    t.endRow();
+    ASSERT_EQ(t.rowCount(), 1u);
+    EXPECT_EQ(t.at(0, 0), "x");
+    EXPECT_EQ(t.at(0, 1), "3.14");
+    EXPECT_EQ(t.at(0, 2), "7");
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), ConfigError);
+    EXPECT_THROW(t.at(0, 0), ConfigError);
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table t({"name", "v"});
+    t.addRow({"long-name", "1"});
+    t.addRow({"x", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    // Header separator line exists.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t({"name", "v"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,v\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, BuilderMisuseThrows)
+{
+    Table t({"a"});
+    t.beginRow();
+    EXPECT_THROW(t.beginRow(), ConfigError);
+    t.cell("v");
+    t.endRow();
+    EXPECT_THROW(t.endRow(), ConfigError);
+    EXPECT_THROW(t.cell("loose"), ConfigError);
+}
+
+} // namespace
+} // namespace optimus

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Command-line front end to the performance model.
+ *
+ * Subcommands:
+ *   train    predict training time/memory for a model+system+mapping
+ *   infer    predict inference latency
+ *   memory   per-device training memory breakdown per recompute mode
+ *   presets  list built-in device/system/model presets
+ *
+ * Inputs come from flags (preset names + mapping knobs) or from a
+ * JSON config file (--config FILE) whose members are the objects
+ * accepted by config/serialize.h. Add --json to emit the report as
+ * JSON instead of text.
+ *
+ * Examples:
+ *   optimus_cli train --model gpt-175b --system dgx-a100 --nodes 8 \
+ *       --batch 64 --tp 8 --pp 8 --sp --recompute selective
+ *   optimus_cli infer --model llama2-13b --system dgx-a100 --tp 1
+ *   optimus_cli memory --model gpt-530b --tp 8 --pp 35 --batch 280
+ */
+
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/optimus.h"
+
+using namespace optimus;
+
+namespace {
+
+using Args = Flags;
+
+JsonValue
+loadConfig(const Args &args)
+{
+    if (!args.has("config"))
+        return JsonValue::object();
+    std::ifstream in(args.get("config", ""));
+    checkConfig(in.good(),
+                "cannot open config file " + args.get("config", ""));
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return JsonValue::parse(ss.str());
+}
+
+TransformerConfig
+resolveModel(const Args &args, const JsonValue &cfg)
+{
+    if (cfg.isObject() && cfg.has("model"))
+        return config::modelFromJson(cfg.at("model"));
+    return config::modelPreset(args.get("model", "gpt-175b"));
+}
+
+System
+resolveSystem(const Args &args, const JsonValue &cfg)
+{
+    if (cfg.isObject() && cfg.has("system"))
+        return config::systemFromJson(cfg.at("system"));
+    return config::systemPreset(
+        args.get("system", "dgx-a100"),
+        static_cast<int>(args.getInt("nodes", 1)));
+}
+
+ParallelConfig
+resolveParallel(const Args &args, const JsonValue &cfg)
+{
+    if (cfg.isObject() && cfg.has("parallel"))
+        return config::parallelFromJson(cfg.at("parallel"));
+    ParallelConfig par;
+    par.dataParallel = args.getInt("dp", 1);
+    par.tensorParallel = args.getInt("tp", 1);
+    par.pipelineParallel = args.getInt("pp", 1);
+    par.sequenceParallel = args.has("sp");
+    par.microbatchSize = args.getInt("microbatch", 1);
+    par.interleavedStages = args.getInt("interleave", 1);
+    if (par.interleavedStages > 1)
+        par.schedule = PipelineSchedule::Interleaved1F1B;
+    return par;
+}
+
+Recompute
+resolveRecompute(const Args &args)
+{
+    std::string name = args.get("recompute", "full");
+    if (name == "none")
+        return Recompute::None;
+    if (name == "selective")
+        return Recompute::Selective;
+    if (name == "full")
+        return Recompute::Full;
+    throw ConfigError("unknown --recompute value: " + name);
+}
+
+int
+cmdTrain(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+    ParallelConfig par = resolveParallel(args, cfg);
+    // Convenience: fill the data-parallel degree from the system size
+    // when the user gave only TP/PP.
+    if (!args.has("dp") && !(cfg.isObject() && cfg.has("parallel"))) {
+        long long rest = par.tensorParallel * par.pipelineParallel;
+        if (sys.totalDevices() % rest == 0)
+            par.dataParallel = sys.totalDevices() / rest;
+    }
+    long long batch = args.getInt("batch", 64);
+
+    TrainingOptions opts;
+    if (cfg.isObject() && cfg.has("training"))
+        opts = config::trainingOptionsFromJson(cfg.at("training"));
+    else {
+        opts.recompute = resolveRecompute(args);
+        opts.seqLength = args.getInt("seq", 2048);
+        opts.precision =
+            parsePrecision(args.get("precision", "fp16"));
+        opts.flashAttention = args.has("flash-attention");
+        opts.memory.flashAttention = opts.flashAttention;
+        opts.memory.zeroStage =
+            static_cast<int>(args.getInt("zero", 0));
+    }
+
+    TrainingReport rep = evaluateTraining(model, sys, par, batch,
+                                          opts);
+
+    if (args.has("json")) {
+        std::cout << config::toJson(rep).dump(2) << "\n";
+        return 0;
+    }
+
+    std::cout << model.name << " on " << sys.totalDevices() << "x "
+              << sys.device.name << " (" << par.label()
+              << ", batch " << batch << ", "
+              << recomputeName(opts.recompute) << " recompute)\n\n"
+              << "  time/batch : " << formatTime(rep.timePerBatch)
+              << "\n"
+              << "  throughput : "
+              << double(batch) * opts.seqLength / rep.timePerBatch
+              << " tokens/s\n"
+              << "  MFU        : " << rep.mfu * 100.0 << " %\n"
+              << "  compute    : " << formatTime(rep.time.compute())
+              << "\n"
+              << "  comm       : "
+              << formatTime(rep.time.communication()) << "\n"
+              << "  other      : " << formatTime(rep.time.other())
+              << "\n"
+              << "  memory/GPU : " << formatBytes(rep.memory.total())
+              << (rep.memory.total() <= sys.device.dram().capacity
+                      ? " (fits)"
+                      : " (OVERFLOWS device memory)")
+              << "\n";
+    return 0;
+}
+
+int
+cmdInfer(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+
+    InferenceOptions opts;
+    if (cfg.isObject() && cfg.has("inference"))
+        opts = config::inferenceOptionsFromJson(cfg.at("inference"));
+    else {
+        opts.tensorParallel = args.getInt("tp", 1);
+        opts.pipelineParallel = args.getInt("pp", 1);
+        opts.batch = args.getInt("batch", 1);
+        opts.promptLength = args.getInt("prompt", 200);
+        opts.generateLength = args.getInt("generate", 200);
+        opts.precision =
+            parsePrecision(args.get("precision", "fp16"));
+        opts.flashAttention = args.has("flash-attention");
+    }
+
+    InferenceReport rep = evaluateInference(model, sys, opts);
+
+    if (args.has("json")) {
+        std::cout << config::toJson(rep).dump(2) << "\n";
+        return 0;
+    }
+
+    double tokens = double(opts.batch) * opts.generateLength;
+    std::cout << model.name << " on TP" << opts.tensorParallel << " "
+              << sys.device.name << " (batch " << opts.batch << ", "
+              << opts.promptLength << "+" << opts.generateLength
+              << " tokens)\n\n"
+              << "  total latency : " << formatTime(rep.totalLatency)
+              << "\n"
+              << "  prefill       : " << formatTime(rep.prefill.time)
+              << "\n"
+              << "  decode        : " << formatTime(rep.decode.time)
+              << "  (" << rep.decode.time / tokens * 1e3 *
+                             double(opts.batch)
+              << " ms/token)\n"
+              << "  decode comm   : "
+              << formatTime(rep.decode.commTime) << "\n"
+              << "  throughput    : " << tokens / rep.totalLatency
+              << " tokens/s\n"
+              << "  KV cache      : " << formatBytes(rep.kvCacheBytes)
+              << ", weights " << formatBytes(rep.weightBytes)
+              << (rep.fitsDeviceMemory ? " (fits)" : " (OVERFLOWS)")
+              << "\n";
+    return 0;
+}
+
+int
+cmdServe(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+
+    ServingOptions opts;
+    opts.tensorParallel = args.getInt("tp", 1);
+    opts.promptLength = args.getInt("prompt", 512);
+    opts.generateLength = args.getInt("generate", 256);
+    opts.precision = parsePrecision(args.get("precision", "fp16"));
+
+    Table out({"Batch", "tok/s", "req/s", "ms/token", "TTFT (ms)",
+               "fits", "$/Mtok"});
+    ServingCostModel cost;
+    for (long long b = 1; b <= args.getInt("max-batch", 128);
+         b *= 2) {
+        ServingPoint pt = evaluateServingPoint(model, sys, opts, b);
+        out.beginRow()
+            .cell(b)
+            .cell(pt.tokensPerSecond, 0)
+            .cell(pt.requestsPerSecond, 2)
+            .cell(pt.interTokenLatency * 1e3, 2)
+            .cell(pt.timeToFirstToken * 1e3, 1)
+            .cell(pt.fits ? "yes" : "NO")
+            .cell(costPerMillionTokens(sys, opts, pt, cost), 2);
+        out.endRow();
+    }
+    std::cout << model.name << " serving on TP" << opts.tensorParallel
+              << " " << sys.device.name << " ("
+              << opts.promptLength << "+" << opts.generateLength
+              << " tokens)\n\n";
+    out.print(std::cout);
+
+    ServingPoint best = maxThroughputPoint(
+        model, sys, opts, args.getInt("max-batch", 128));
+    std::cout << "\nbest fitting batch: " << best.batch << " ("
+              << best.tokensPerSecond << " tok/s)\n";
+    return 0;
+}
+
+int
+cmdSensitivity(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+
+    std::function<double(const System &)> objective;
+    std::string label;
+    if (args.get("mode", "train") == "infer") {
+        InferenceOptions opts;
+        opts.tensorParallel = args.getInt("tp", 1);
+        opts.batch = args.getInt("batch", 1);
+        objective = [=](const System &s) {
+            return evaluateInference(model, s, opts).totalLatency;
+        };
+        label = "inference latency";
+    } else {
+        ParallelConfig par = resolveParallel(args, cfg);
+        long long batch = args.getInt("batch", 64);
+        TrainingOptions opts;
+        opts.recompute = resolveRecompute(args);
+        objective = [=](const System &s) {
+            return evaluateTraining(model, s, par, batch, opts)
+                .timePerBatch;
+        };
+        label = "training time per batch";
+    }
+
+    std::vector<Sensitivity> rows =
+        analyzeSensitivity(sys, objective);
+    std::cout << model.name << " on " << sys.device.name
+              << ": elasticity of " << label
+              << " per resource (-1 = fully bound)\n\n";
+    sensitivityTable(rows).print(std::cout);
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+    long long batch = args.getInt("batch", 64);
+
+    TrainingPlannerOptions opts;
+    opts.seqLength = args.getInt("seq", 2048);
+    opts.precision = parsePrecision(args.get("precision", "fp16"));
+    opts.flashAttention = args.has("flash-attention");
+    opts.keep = static_cast<size_t>(args.getInt("top", 8));
+    if (args.has("zero"))
+        opts.zeroStages = {0,
+                           static_cast<int>(args.getInt("zero", 1))};
+
+    std::vector<TrainingPlan> plans =
+        planTraining(model, sys, batch, opts);
+    if (plans.empty()) {
+        std::cout << "no parallelization of " << model.name
+                  << " fits " << sys.device.name
+                  << " memory at batch " << batch << "\n";
+        return 1;
+    }
+
+    Table out({"DP-TP-PP-SP", "Schedule", "Recompute", "ZeRO",
+               "t/batch (s)", "MFU (%)", "Mem/GPU (GiB)"});
+    for (const TrainingPlan &p : plans) {
+        out.beginRow()
+            .cell(p.parallel.label())
+            .cell(p.parallel.interleavedStages > 1
+                      ? "interleaved x" +
+                            std::to_string(
+                                p.parallel.interleavedStages)
+                      : scheduleName(p.parallel.schedule))
+            .cell(recomputeName(p.options.recompute))
+            .cell(static_cast<long long>(p.options.memory.zeroStage))
+            .cell(p.report.timePerBatch, 2)
+            .cell(p.report.mfu * 100.0, 1)
+            .cell(p.report.memory.total() / GiB, 1);
+        out.endRow();
+    }
+    std::cout << model.name << " on " << sys.totalDevices() << "x "
+              << sys.device.name << ", batch " << batch
+              << " - ranked plans:\n\n";
+    out.print(std::cout);
+    return 0;
+}
+
+int
+cmdMemory(const Args &args)
+{
+    JsonValue cfg = loadConfig(args);
+    TransformerConfig model = resolveModel(args, cfg);
+    ParallelConfig par = resolveParallel(args, cfg);
+    long long batch = args.getInt("batch", 64);
+    long long seq = args.getInt("seq", 2048);
+
+    Table out({"Recompute", "Weights", "Grads", "Optimizer",
+               "Activations", "Total (GiB)"});
+    for (Recompute r : {Recompute::None, Recompute::Selective,
+                        Recompute::Full}) {
+        MemoryOptions mopts;
+        mopts.zeroStage = static_cast<int>(args.getInt("zero", 0));
+        TrainingMemory mem =
+            trainingMemoryPerDevice(model, par, batch, seq, r, mopts);
+        out.beginRow()
+            .cell(recomputeName(r))
+            .cell(mem.weights / GiB, 2)
+            .cell(mem.gradients / GiB, 2)
+            .cell(mem.optimizer / GiB, 2)
+            .cell(mem.activations / GiB, 2)
+            .cell(mem.total() / GiB, 2);
+        out.endRow();
+    }
+    std::cout << model.name << ", " << par.label() << ", batch "
+              << batch << ", seq " << seq << " (GiB per device)\n\n";
+    out.print(std::cout);
+    return 0;
+}
+
+int
+cmdPresets()
+{
+    std::cout << "Device presets:\n";
+    for (const std::string &name : config::devicePresetNames())
+        std::cout << "  " << name << "\n";
+    std::cout << "System presets (use with --nodes N):\n";
+    for (const std::string &name : config::systemPresetNames())
+        std::cout << "  " << name << "\n";
+    std::cout << "Model presets:\n";
+    for (const std::string &name : config::modelPresetNames())
+        std::cout << "  " << name << "\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cout <<
+        "usage: optimus_cli <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  train    --model M --system S --nodes N --batch B --dp D\n"
+        "           --tp T --pp P [--sp] [--recompute none|selective|"
+        "full]\n"
+        "           [--seq L] [--precision fp16|fp8|fp4] [--zero 0-3]\n"
+        "           [--flash-attention] [--microbatch m] "
+        "[--interleave v]\n"
+        "  infer    --model M --system S [--tp T] [--batch B]\n"
+        "           [--prompt P] [--generate G] [--flash-attention]\n"
+        "  serve    --model M --system S [--tp T] [--prompt P]\n"
+        "           [--generate G] [--max-batch N]\n"
+        "  plan     --model M --system S --nodes N --batch B "
+        "[--top K]\n"
+        "  sensitivity --model M --system S [--mode train|infer]\n"
+        "              bottleneck attribution per hardware resource\n"
+        "  memory   --model M --dp D --tp T --pp P [--sp] "
+        "[--batch B]\n"
+        "  presets  list built-in presets\n"
+        "\n"
+        "common flags: --config FILE (JSON), --json (JSON output)\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args = Flags::parse(argc, argv);
+        if (args.command() == "train")
+            return cmdTrain(args);
+        if (args.command() == "infer")
+            return cmdInfer(args);
+        if (args.command() == "serve")
+            return cmdServe(args);
+        if (args.command() == "plan")
+            return cmdPlan(args);
+        if (args.command() == "sensitivity")
+            return cmdSensitivity(args);
+        if (args.command() == "memory")
+            return cmdMemory(args);
+        if (args.command() == "presets")
+            return cmdPresets();
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
