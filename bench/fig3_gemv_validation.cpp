@@ -65,7 +65,7 @@ main()
             .cell(k)
             .cell(meas.time * 1e6, 2)
             .cell(pred.time * 1e6, 2)
-            .cell(err, 1)
+            .cell(formatErrorPct(err))
             .cell(large ? "large" : "small");
         out.endRow();
     }

@@ -101,7 +101,7 @@ main()
             .cell(recomputeName(row.recompute))
             .cell(row.t_ref, 1)
             .cell(rep.timePerBatch, 1)
-            .cell(err, 1);
+            .cell(formatErrorPct(err));
         out.endRow();
     }
 

@@ -85,10 +85,10 @@ main()
             .cell(static_cast<long long>(row.tp))
             .cell(row.nvidia_a100_ms, 0)
             .cell(pa, 0)
-            .cell(ea, 1)
+            .cell(formatErrorPct(ea))
             .cell(row.nvidia_h100_ms, 0)
             .cell(ph, 0)
-            .cell(eh, 1);
+            .cell(formatErrorPct(eh));
         out.endRow();
     }
 

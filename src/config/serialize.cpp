@@ -326,6 +326,34 @@ toJson(const InferenceReport &rep)
     return j;
 }
 
+JsonValue
+toJson(const lint::Diagnostic &diag)
+{
+    JsonValue j = JsonValue::object();
+    j.set("severity",
+          JsonValue::string(lint::severityName(diag.severity)));
+    j.set("rule", JsonValue::string(diag.ruleId));
+    j.set("message", JsonValue::string(diag.message));
+    if (!diag.hint.empty())
+        j.set("hint", JsonValue::string(diag.hint));
+    return j;
+}
+
+JsonValue
+toJson(const lint::LintReport &report)
+{
+    JsonValue diags = JsonValue::array();
+    for (const lint::Diagnostic &d : report.diagnostics())
+        diags.push(toJson(d));
+    JsonValue j = JsonValue::object();
+    j.set("diagnostics", std::move(diags));
+    j.set("errors",
+          JsonValue::number(double(report.errorCount())));
+    j.set("warnings",
+          JsonValue::number(double(report.warningCount())));
+    return j;
+}
+
 // ---- Deserialization -----------------------------------------------------
 
 NetworkLink

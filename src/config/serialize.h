@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "inference/engine.h"
+#include "lint/lint.h"
 #include "training/trainer.h"
 #include "util/json.h"
 
@@ -50,6 +51,8 @@ JsonValue toJson(const ParallelConfig &par);
 JsonValue toJson(const TrainingMemory &mem);
 JsonValue toJson(const TrainingReport &rep);
 JsonValue toJson(const InferenceReport &rep);
+JsonValue toJson(const lint::Diagnostic &diag);
+JsonValue toJson(const lint::LintReport &report);
 
 // ---- Deserialization -----------------------------------------------------
 

@@ -20,6 +20,7 @@
 #include "inference/engine.h"
 #include "inference/serving.h"
 #include "inference/speculative.h"
+#include "lint/lint.h"
 #include "memory/footprint.h"
 #include "memory/kv_cache.h"
 #include "parallel/config.h"

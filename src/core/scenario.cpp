@@ -1,5 +1,6 @@
 #include "core/scenario.h"
 
+#include "lint/lint.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -9,9 +10,14 @@ Scenario::Scenario(TransformerConfig model, System system,
     : model_(std::move(model)), system_(std::move(system)),
       parallel_(par), globalBatch_(global_batch), isTraining_(true)
 {
-    model_.validate();
-    system_.validate();
-    parallel_.validate(model_, system_, globalBatch_);
+    // One aggregated pass over model + system + mapping: a bad config
+    // surfaces every problem at once instead of the first throw.
+    lint::LintReport report = lint::lintModel(model_);
+    report.merge(lint::lintSystem(system_));
+    if (!report.hasErrors())
+        report.merge(lint::lintMapping(model_, system_, parallel_,
+                                       globalBatch_));
+    lint::enforce(report);
 }
 
 Scenario::Scenario(TransformerConfig model, System system,
@@ -19,8 +25,9 @@ Scenario::Scenario(TransformerConfig model, System system,
     : model_(std::move(model)), system_(std::move(system)),
       inference_(inference), isTraining_(false)
 {
-    model_.validate();
-    system_.validate();
+    lint::LintReport report = lint::lintModel(model_);
+    report.merge(lint::lintSystem(system_));
+    lint::enforce(report);
     parallel_.tensorParallel = inference_.tensorParallel;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lint/lint.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -34,6 +35,10 @@ optimizeAllocation(const TechConfig &tech,
     auto evaluate = [&](const UArchAllocation &alloc) {
         Device dev = buildDevice(tech, alloc, cal);
         ++evals;
+        // Cheap legality pre-filter: a candidate that fails structural
+        // lint scores infinitely bad instead of throwing mid-search.
+        if (!lint::isLegalDevice(dev))
+            return std::numeric_limits<double>::infinity();
         return objective(dev);
     };
 

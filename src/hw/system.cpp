@@ -1,5 +1,6 @@
 #include "hw/system.h"
 
+#include "lint/lint.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -20,12 +21,7 @@ System::linkForGroup(long long group_size) const
 void
 System::validate() const
 {
-    device.validate();
-    checkPositive(static_cast<long long>(devicesPerNode),
-                  "devicesPerNode");
-    checkPositive(static_cast<long long>(numNodes), "numNodes");
-    intraLink.validate();
-    interLink.validate();
+    lint::enforce(lint::lintSystem(*this));
 }
 
 System

@@ -1,5 +1,6 @@
 #include "parallel/config.h"
 
+#include "lint/lint.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -48,47 +49,7 @@ void
 ParallelConfig::validate(const TransformerConfig &cfg, const System &sys,
                          long long global_batch) const
 {
-    checkPositive(dataParallel, "dataParallel");
-    checkPositive(tensorParallel, "tensorParallel");
-    checkPositive(pipelineParallel, "pipelineParallel");
-    checkPositive(microbatchSize, "microbatchSize");
-    checkPositive(interleavedStages, "interleavedStages");
-    checkPositive(expertParallel, "expertParallel");
-    checkPositive(contextParallel, "contextParallel");
-
-    checkConfig(totalDevices() == sys.totalDevices(),
-                "mapping needs " + std::to_string(totalDevices()) +
-                " devices, system has " +
-                std::to_string(sys.totalDevices()));
-    checkConfig(tensorParallel <= sys.devicesPerNode,
-                "TP must fit within a node (Megatron convention)");
-    checkConfig(cfg.numHeads % tensorParallel == 0,
-                "attention heads must divide by TP degree");
-    checkConfig(cfg.ffnHidden % tensorParallel == 0,
-                "FFN width must divide by TP degree");
-
-    long long stages = pipelineParallel * interleavedStages;
-    checkConfig(cfg.numLayers % stages == 0,
-                "layers (" + std::to_string(cfg.numLayers) +
-                ") must divide by PP*interleave (" +
-                std::to_string(stages) + ")");
-
-    if (schedule != PipelineSchedule::Interleaved1F1B)
-        checkConfig(interleavedStages == 1,
-                    "interleavedStages > 1 requires the interleaved "
-                    "schedule");
-
-    if (expertParallel > 1) {
-        checkConfig(cfg.isMoe(),
-                    "expert parallelism requires a MoE model");
-        checkConfig(cfg.numExperts % expertParallel == 0,
-                    "experts must divide by the EP degree");
-        checkConfig(dataParallel % expertParallel == 0,
-                    "EP shards the data-parallel dimension; DP must "
-                    "divide by EP");
-    }
-
-    microbatches(global_batch);  // validates divisibility
+    lint::enforce(lint::lintMapping(cfg, sys, *this, global_batch));
 }
 
 } // namespace optimus

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/lint.h"
 #include "memory/footprint.h"
 #include "util/error.h"
 
@@ -33,17 +34,10 @@ planTraining(const TransformerConfig &model, const System &sys,
     std::vector<TrainingPlan> plans;
 
     for (long long tp = 1; tp <= sys.devicesPerNode; tp *= 2) {
-        if (model.numHeads % tp != 0 || model.ffnHidden % tp != 0)
-            continue;
         for (long long pp = 1;
              tp * pp <= sys.totalDevices() && pp <= model.numLayers;
              pp *= 2) {
-            if (model.numLayers % pp != 0)
-                continue;
             long long dp = sys.totalDevices() / (tp * pp);
-            if (dp * tp * pp != sys.totalDevices() ||
-                global_batch % dp != 0)
-                continue;
 
             std::vector<long long> interleaves = {1};
             if (opts.tryInterleaving && pp > 1) {
@@ -53,24 +47,28 @@ planTraining(const TransformerConfig &model, const System &sys,
             }
 
             for (long long micro : opts.microbatchSizes) {
-                if ((global_batch / dp) % micro != 0)
-                    continue;
                 for (long long v : interleaves) {
+                    ParallelConfig par;
+                    par.dataParallel = dp;
+                    par.tensorParallel = tp;
+                    par.pipelineParallel = pp;
+                    par.sequenceParallel =
+                        opts.allowSequenceParallel && tp > 1;
+                    par.microbatchSize = micro;
+                    if (v > 1) {
+                        par.schedule =
+                            PipelineSchedule::Interleaved1F1B;
+                        par.interleavedStages = v;
+                    }
+                    // One lint call replaces the hand-rolled
+                    // divisibility checks: skip illegal mappings
+                    // before touching memory or timing models.
+                    if (!lint::isLegalMapping(model, sys, par,
+                                              global_batch))
+                        continue;
+
                     for (Recompute r : opts.recomputeChoices) {
                         for (int zero : opts.zeroStages) {
-                            ParallelConfig par;
-                            par.dataParallel = dp;
-                            par.tensorParallel = tp;
-                            par.pipelineParallel = pp;
-                            par.sequenceParallel =
-                                opts.allowSequenceParallel && tp > 1;
-                            par.microbatchSize = micro;
-                            if (v > 1) {
-                                par.schedule =
-                                    PipelineSchedule::Interleaved1F1B;
-                                par.interleavedStages = v;
-                            }
-
                             TrainingOptions topts;
                             topts.precision = opts.precision;
                             topts.seqLength = opts.seqLength;

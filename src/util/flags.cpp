@@ -16,7 +16,14 @@ Flags::parse(const std::vector<std::string> &args)
 
     while (i < args.size()) {
         const std::string &arg = args[i];
-        checkConfig(arg.rfind("--", 0) == 0 && arg.size() > 2,
+        if (arg.rfind("--", 0) != 0) {
+            // Bare token between flags: a positional operand
+            // (e.g. the config path of "lint <config.json>").
+            out.positionals_.push_back(arg);
+            i += 1;
+            continue;
+        }
+        checkConfig(arg.size() > 2,
                     "expected a --flag, got \"" + arg + "\"");
         std::string name = arg.substr(2);
         // A flag consumes the next token as its value unless that

@@ -27,6 +27,12 @@ class Flags
     /** The first positional token ("train", "infer", ...). */
     const std::string &command() const { return command_; }
 
+    /** Positional tokens after the command (e.g. a config path). */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
     /** True if --name was given (with or without a value). */
     bool has(const std::string &name) const;
 
@@ -48,6 +54,7 @@ class Flags
 
   private:
     std::string command_;
+    std::vector<std::string> positionals_;
     std::map<std::string, std::string> flags_;
 };
 

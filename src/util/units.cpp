@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace optimus {
 
@@ -66,9 +67,25 @@ formatBandwidth(double bytes_per_s)
 double
 relativeErrorPct(double predicted, double reference)
 {
-    if (reference == 0.0)
-        return 0.0;
+    if (reference == 0.0) {
+        // No reference to be relative to. Zero-vs-zero is exact;
+        // anything else is undefined — NaN, so a silent 0% cannot
+        // mask a real misprediction.
+        return predicted == 0.0
+                   ? 0.0
+                   : std::numeric_limits<double>::quiet_NaN();
+    }
     return std::fabs(predicted - reference) / std::fabs(reference) * 100.0;
+}
+
+std::string
+formatErrorPct(double error_pct)
+{
+    if (std::isnan(error_pct))
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", error_pct);
+    return buf;
 }
 
 } // namespace optimus

@@ -31,6 +31,12 @@ constexpr double GiB = 1024.0 * MiB;
 constexpr double GBps = 1e9;
 constexpr double TBps = 1e12;
 
+// Bit-rate helpers, also bytes per second: vendors quote network
+// links in bits/s ("400G InfiniBand" = 400 * Gbps = 50 GB/s).
+constexpr double Mbps = 1e6 / 8.0;
+constexpr double Gbps = 1e9 / 8.0;
+constexpr double Tbps = 1e12 / 8.0;
+
 // Compute throughput, FLOP per second.
 constexpr double GFLOPS = 1e9;
 constexpr double TFLOPS = 1e12;
@@ -55,9 +61,14 @@ std::string formatBandwidth(double bytes_per_s);
 
 /**
  * Relative error in percent between a prediction and a reference.
- * Returns |pred - ref| / ref * 100; reference of zero yields zero.
+ * Returns |pred - ref| / ref * 100. A reference of zero has no
+ * defined relative error: the result is NaN (unless the prediction
+ * is also zero, which is exact). Print through formatErrorPct().
  */
 double relativeErrorPct(double predicted, double reference);
+
+/** Format a relative error: "12.3" (one decimal), or "n/a" for NaN. */
+std::string formatErrorPct(double error_pct);
 
 } // namespace optimus
 

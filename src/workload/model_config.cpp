@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/lint.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -66,29 +67,7 @@ TransformerConfig::parameterCount() const
 void
 TransformerConfig::validate() const
 {
-    checkConfig(!name.empty(), "model needs a name");
-    checkPositive(numLayers, name + " numLayers");
-    checkPositive(hiddenSize, name + " hiddenSize");
-    checkPositive(numHeads, name + " numHeads");
-    checkPositive(numKvHeads, name + " numKvHeads");
-    checkPositive(ffnHidden, name + " ffnHidden");
-    checkPositive(vocabSize, name + " vocabSize");
-    checkPositive(maxSeqLength, name + " maxSeqLength");
-    checkConfig(hiddenSize % numHeads == 0,
-                name + ": hiddenSize must divide evenly into heads");
-    checkConfig(numKvHeads <= numHeads,
-                name + ": numKvHeads cannot exceed numHeads");
-    checkConfig(numHeads % numKvHeads == 0,
-                name + ": numHeads must be a multiple of numKvHeads");
-    checkPositive(numExperts, name + " numExperts");
-    checkPositive(topK, name + " topK");
-    checkConfig(topK <= numExperts,
-                name + ": topK cannot exceed numExperts");
-    checkConfig(numExperts > 1 || topK == 1,
-                name + ": dense models route every token to the "
-                "single FFN (topK must be 1)");
-    checkConfig(slidingWindow >= 0,
-                name + ": slidingWindow must be non-negative");
+    lint::enforce(lint::lintModel(*this));
 }
 
 } // namespace optimus

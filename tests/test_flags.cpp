@@ -59,12 +59,27 @@ TEST(Flags, NumberParsing)
     EXPECT_THROW(f.getInt("rate", 0), ConfigError);
 }
 
+TEST(Flags, CollectsPositionals)
+{
+    // Bare tokens after the command are positional operands
+    // ("lint <config.json>"), even when mixed with flags.
+    Flags f = Flags::parse({"lint", "cfg.json", "--json"});
+    EXPECT_EQ(f.command(), "lint");
+    ASSERT_EQ(f.positionals().size(), 1u);
+    EXPECT_EQ(f.positionals()[0], "cfg.json");
+    EXPECT_TRUE(f.has("json"));
+
+    // A token after a "--flag value" pair is positional, not a
+    // second value.
+    Flags g = Flags::parse({"cmd", "--ok", "v", "stray", "x"});
+    EXPECT_EQ(g.get("ok", ""), "v");
+    ASSERT_EQ(g.positionals().size(), 2u);
+    EXPECT_EQ(g.positionals()[0], "stray");
+    EXPECT_EQ(g.positionals()[1], "x");
+}
+
 TEST(Flags, RejectsMalformedInput)
 {
-    // Positional token after flags began.
-    EXPECT_THROW(Flags::parse({"cmd", "stray"}), ConfigError);
-    EXPECT_THROW(Flags::parse({"cmd", "--ok", "v", "stray", "x"}),
-                 ConfigError);
     // Bare "--" is not a flag.
     EXPECT_THROW(Flags::parse({"cmd", "--"}), ConfigError);
     // Non-numeric value for an integer flag.

@@ -199,8 +199,6 @@ TEST(Inference, PipelineParallelServesOversizedModels)
 
     // The pipeline hop cost is one p2p per token per boundary: small
     // next to the per-layer TP all-reduces.
-    InferenceOptions pp_only = pp;
-    pp_only.tensorParallel = 8;
     double with_pp = rep.totalLatency;
     EXPECT_GT(with_pp, 0.0);
     // Layers must divide by PP.

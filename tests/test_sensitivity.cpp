@@ -47,8 +47,9 @@ TEST(Sensitivity, TrainingIsComputeBound)
     EXPECT_LT(s.front().elasticity, -0.4);
     // Inter-node network is irrelevant without DP here.
     for (const Sensitivity &row : s) {
-        if (row.resource == Resource::InterNodeNetwork)
+        if (row.resource == Resource::InterNodeNetwork) {
             EXPECT_GT(row.elasticity, -0.1);
+        }
     }
 }
 

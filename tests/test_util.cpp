@@ -3,6 +3,7 @@
  * Unit tests for the util module: units, error helpers, tables.
  */
 
+#include <cmath>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -50,7 +51,28 @@ TEST(Units, RelativeErrorPct)
 {
     EXPECT_DOUBLE_EQ(relativeErrorPct(110.0, 100.0), 10.0);
     EXPECT_DOUBLE_EQ(relativeErrorPct(90.0, 100.0), 10.0);
-    EXPECT_DOUBLE_EQ(relativeErrorPct(5.0, 0.0), 0.0);
+    // Zero reference: exact when the prediction is also zero,
+    // undefined (NaN) otherwise — a silent 0% would mask the miss.
+    EXPECT_DOUBLE_EQ(relativeErrorPct(0.0, 0.0), 0.0);
+    EXPECT_TRUE(std::isnan(relativeErrorPct(5.0, 0.0)));
+}
+
+TEST(Units, FormatErrorPct)
+{
+    EXPECT_EQ(formatErrorPct(12.34), "12.3");
+    EXPECT_EQ(formatErrorPct(0.0), "0.0");
+    EXPECT_EQ(formatErrorPct(relativeErrorPct(5.0, 0.0)), "n/a");
+}
+
+TEST(Units, BitRateHelpers)
+{
+    // 400G InfiniBand NDR: 400 Gb/s = 50 GB/s.
+    EXPECT_DOUBLE_EQ(400 * Gbps, 50 * GBps);
+    EXPECT_DOUBLE_EQ(Gbps * 8.0, GB);
+    EXPECT_DOUBLE_EQ(Mbps * 8.0, MB);
+    EXPECT_DOUBLE_EQ(Tbps * 8.0, TB);
+    EXPECT_DOUBLE_EQ(1000.0 * Mbps, Gbps);
+    EXPECT_DOUBLE_EQ(1000.0 * Gbps, Tbps);
 }
 
 TEST(Error, CheckConfigThrowsWithMessage)

@@ -6,6 +6,7 @@
  *   train    predict training time/memory for a model+system+mapping
  *   infer    predict inference latency
  *   memory   per-device training memory breakdown per recompute mode
+ *   lint     static-check a config without evaluating it
  *   presets  list built-in device/system/model presets
  *
  * Inputs come from flags (preset names + mapping knobs) or from a
@@ -374,6 +375,59 @@ cmdMemory(const Args &args)
 }
 
 int
+cmdLint(const Args &args)
+{
+    // Config path: positional operand or --config FILE.
+    std::string path = args.positionals().empty()
+                           ? args.get("config", "")
+                           : args.positionals().front();
+    checkConfig(!path.empty(),
+                "lint needs a config file: optimus_cli lint "
+                "<config.json>");
+    std::ifstream in(path);
+    checkConfig(in.good(), "cannot open config file " + path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue cfg = JsonValue::parse(ss.str());
+
+    lint::LintReport report;
+    try {
+        TransformerConfig model = resolveModel(args, cfg);
+        System sys = resolveSystem(args, cfg);
+        if (cfg.isObject() && cfg.has("inference")) {
+            InferenceOptions opts =
+                config::inferenceOptionsFromJson(cfg.at("inference"));
+            report = lint::lintInference(model, sys, opts);
+        } else {
+            ParallelConfig par = resolveParallel(args, cfg);
+            long long batch = args.getInt("batch", 64);
+            TrainingOptions opts;
+            if (cfg.isObject() && cfg.has("training"))
+                opts = config::trainingOptionsFromJson(
+                    cfg.at("training"));
+            report = lint::lintTraining(model, sys, par, batch, opts);
+        }
+    } catch (const LintError &e) {
+        // A deserializer rejected a component outright; its report is
+        // still the aggregated list for that component.
+        report = e.report();
+    }
+
+    if (args.has("json")) {
+        std::cout << config::toJson(report).dump(2) << "\n";
+        return report.hasErrors() ? 1 : 0;
+    }
+
+    if (report.empty()) {
+        std::cout << path << ": no diagnostics\n";
+        return 0;
+    }
+    lint::diagnosticsTable(report).print(std::cout);
+    std::cout << "\n" << path << ": " << report.summary() << "\n";
+    return report.hasErrors() ? 1 : 0;
+}
+
+int
 cmdPresets()
 {
     std::cout << "Device presets:\n";
@@ -411,6 +465,8 @@ usage()
         "              bottleneck attribution per hardware resource\n"
         "  memory   --model M --dp D --tp T --pp P [--sp] "
         "[--batch B]\n"
+        "  lint     <config.json> [--batch B] - static-check a config\n"
+        "           without evaluating it (exit 1 on errors)\n"
         "  presets  list built-in presets\n"
         "\n"
         "common flags: --config FILE (JSON), --json (JSON output)\n";
@@ -436,6 +492,8 @@ main(int argc, char **argv)
             return cmdSensitivity(args);
         if (args.command() == "memory")
             return cmdMemory(args);
+        if (args.command() == "lint")
+            return cmdLint(args);
         if (args.command() == "presets")
             return cmdPresets();
         return usage();
