@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
 #include "core/optimus.h"
 
 using namespace optimus;
@@ -77,6 +81,24 @@ BM_MemoryFootprint(benchmark::State &state)
 BENCHMARK(BM_MemoryFootprint);
 
 void
+BM_TrainingEvaluationTraced(benchmark::State &state)
+{
+    System sys = presets::dgxA100(8);
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    TraceSession session;
+    TrainingOptions opts;
+    opts.trace = &session;
+    for (auto _ : state) {
+        session.reset();
+        benchmark::DoNotOptimize(
+            evaluateTraining(models::gpt175b(), sys, par, 64, opts));
+    }
+}
+BENCHMARK(BM_TrainingEvaluationTraced);
+
+void
 BM_DseSearch(benchmark::State &state)
 {
     TechConfig tech;
@@ -99,6 +121,80 @@ BM_DseSearch(benchmark::State &state)
 }
 BENCHMARK(BM_DseSearch);
 
+/**
+ * Direct A/B timing of evaluateTraining with tracing disabled vs
+ * enabled, written as BENCH_trace_overhead.json. The disabled path is
+ * the acceptance gate: a nullptr trace pointer must stay within noise
+ * of the pre-instrumentation engine.
+ */
+void
+writeTraceOverheadReport()
+{
+    using clock = std::chrono::steady_clock;
+    System sys = presets::dgxA100(8);
+    ParallelConfig par;
+    par.tensorParallel = 8;
+    par.pipelineParallel = 8;
+    TransformerConfig model = models::gpt175b();
+
+    const int warmup = 3;
+    const int iters = 30;
+
+    auto time_one = [&](TraceSession *session) {
+        TrainingOptions opts;
+        opts.trace = session;
+        for (int i = 0; i < warmup; ++i) {
+            if (session != nullptr)
+                session->reset();
+            benchmark::DoNotOptimize(
+                evaluateTraining(model, sys, par, 64, opts));
+        }
+        clock::time_point t0 = clock::now();
+        for (int i = 0; i < iters; ++i) {
+            if (session != nullptr)
+                session->reset();
+            benchmark::DoNotOptimize(
+                evaluateTraining(model, sys, par, 64, opts));
+        }
+        return std::chrono::duration<double, std::nano>(clock::now() -
+                                                        t0)
+                   .count() /
+               iters;
+    };
+
+    double disabled_ns = time_one(nullptr);
+    TraceSession session;
+    double enabled_ns = time_one(&session);
+
+    JsonValue out = JsonValue::object();
+    out.set("benchmark", JsonValue::string("trace_overhead"));
+    out.set("workload", JsonValue::string(
+                            "evaluateTraining gpt-175b dgx-a100 x8"));
+    out.set("disabled_ns_per_eval", JsonValue::number(disabled_ns));
+    out.set("enabled_ns_per_eval", JsonValue::number(enabled_ns));
+    out.set("spans_per_eval",
+            JsonValue::number(double(session.spans().size())));
+    out.set("overhead_pct",
+            JsonValue::number(100.0 * (enabled_ns - disabled_ns) /
+                              disabled_ns));
+
+    std::ofstream f("BENCH_trace_overhead.json");
+    f << out.dump(2) << "\n";
+    std::cout << "trace overhead: disabled " << disabled_ns / 1e6
+              << " ms/eval, enabled " << enabled_ns / 1e6
+              << " ms/eval -> BENCH_trace_overhead.json\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeTraceOverheadReport();
+    return 0;
+}

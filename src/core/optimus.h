@@ -36,6 +36,8 @@
 #include "tech/logic_node.h"
 #include "tech/network_tech.h"
 #include "tech/uarch.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "training/trainer.h"
 #include "util/error.h"
 #include "util/flags.h"

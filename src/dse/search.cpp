@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "lint/lint.h"
+#include "trace/trace.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -31,15 +32,35 @@ optimizeAllocation(const TechConfig &tech,
     DseResult best;
     best.objective = std::numeric_limits<double>::infinity();
     int evals = 0;
+    TraceSession *tr = opts.trace;
+    const bool tron = tracing(tr);
 
     auto evaluate = [&](const UArchAllocation &alloc) {
         Device dev = buildDevice(tech, alloc, cal);
         ++evals;
+        if (tron)
+            tr->counterAdd("dse/evaluations");
         // Cheap legality pre-filter: a candidate that fails structural
         // lint scores infinitely bad instead of throwing mid-search.
-        if (!lint::isLegalDevice(dev))
+        if (!lint::isLegalDevice(dev)) {
+            if (tron)
+                tr->counterAdd("dse/pruned");
             return std::numeric_limits<double>::infinity();
+        }
         return objective(dev);
+    };
+
+    auto progress = [&](int round, double value, double step) {
+        if (tron)
+            tr->counterSet("dse/best-objective", value);
+        if (opts.onRound) {
+            DseRound r;
+            r.round = round;
+            r.bestObjective = value;
+            r.evaluations = evals;
+            r.step = step;
+            opts.onRound(r);
+        }
     };
 
     auto consider = [&](const UArchAllocation &alloc, double value) {
@@ -60,6 +81,7 @@ optimizeAllocation(const TechConfig &tech,
             consider(a, evaluate(a));
         }
     }
+    progress(-1, best.objective, opts.initialStep);
 
     // Coordinate descent with step halving from the best grid point.
     UArchAllocation current = best.allocation;
@@ -82,6 +104,7 @@ optimizeAllocation(const TechConfig &tech,
             }
         }
         consider(current, value);
+        progress(round, best.objective, step);
         if (!improved)
             step *= 0.5;
         if (step < 1e-3)

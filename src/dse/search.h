@@ -20,8 +20,19 @@
 
 namespace optimus {
 
+class TraceSession;
+
 /** Objective: predicted execution time (seconds) of a device. */
 using DeviceObjective = std::function<double(const Device &)>;
+
+/** Per-round search progress surfaced to callers. */
+struct DseRound
+{
+    int round = 0;            ///< refinement round (-1 = grid phase)
+    double bestObjective = 0.0;
+    int evaluations = 0;      ///< cumulative objective evaluations
+    double step = 0.0;        ///< current coordinate-descent step
+};
 
 /** Search tunables. */
 struct DseOptions
@@ -31,6 +42,16 @@ struct DseOptions
     double initialStep = 0.12;
     double minFraction = 0.05;
     double maxFraction = 0.95;
+
+    /**
+     * Optional trace sink: counts objective evaluations
+     * ("dse/evaluations"), lint-pruned candidates ("dse/pruned") and
+     * samples the best objective per round ("dse/best-objective").
+     */
+    TraceSession *trace = nullptr;
+
+    /** Optional progress callback, invoked once per search round. */
+    std::function<void(const DseRound &)> onRound;
 };
 
 /** Outcome of a DSE run. */

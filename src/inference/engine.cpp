@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "memory/kv_cache.h"
+#include "trace/trace.h"
 #include "util/error.h"
 #include "workload/graph.h"
 
@@ -11,7 +12,7 @@ namespace optimus {
 namespace {
 
 /** Accumulate one op estimate into a phase report. */
-void
+KernelEstimate
 accumulate(PhaseReport &phase, const Device &dev, const Op &op)
 {
     KernelEstimate est = evaluateOp(dev, op);
@@ -32,6 +33,22 @@ accumulate(PhaseReport &phase, const Device &dev, const Op &op)
     } else {
         phase.otherKernelTime += est.time;
     }
+    return est;
+}
+
+/**
+ * Trace category of an op within @p phase ("prefill"/"decode"),
+ * mirroring accumulate()'s bucket choice so per-category span sums
+ * reproduce the PhaseReport fields.
+ */
+std::string
+traceCategory(const char *phase, const Op &op,
+              const KernelEstimate &est)
+{
+    const char *bucket = "other";
+    if (op.kind == OpKind::Gemm || op.kind == OpKind::FusedAttention)
+        bucket = est.computeBound() ? "gemm-compute" : "gemm-memory";
+    return std::string(phase) + "-" + bucket;
 }
 
 /** TP all-reduce time for one layer's two row-parallel outputs. */
@@ -71,6 +88,20 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
     const long long L = cfg.numLayers;
     InferenceReport rep;
 
+    TraceSession *tr = opts.trace;
+    const bool tron = tracing(tr);
+    int lane_prefill = 0, lane_prefill_comm = 0, lane_decode = 0,
+        lane_decode_comm = 0;
+    if (tron) {
+        lane_prefill = tr->lane("prefill");
+        lane_prefill_comm = tr->lane("prefill/comm");
+        lane_decode = tr->lane("decode");
+        lane_decode_comm = tr->lane("decode/comm");
+        tr->counterAdd("infer/decode-tokens",
+                       double(opts.generateLength));
+        tr->counterAdd("infer/layers", double(L));
+    }
+
     // ---- Prefill (summarization) ------------------------------------
     LayerGraphParams gp;
     gp.batch = opts.batch;
@@ -81,8 +112,13 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
     gp.flashAttention = opts.flashAttention;
 
     PhaseReport layer_prefill;
-    for (const Op &op : layerForwardOps(cfg, gp))
-        accumulate(layer_prefill, dev, op);
+    std::vector<Op> prefill_ops = layerForwardOps(cfg, gp);
+    std::vector<KernelEstimate> prefill_ests;
+    for (const Op &op : prefill_ops) {
+        KernelEstimate est = accumulate(layer_prefill, dev, op);
+        if (tron)
+            prefill_ests.push_back(std::move(est));
+    }
 
     rep.prefill.time = layer_prefill.time * L;
     rep.prefill.computeBoundGemmTime =
@@ -92,16 +128,44 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
     rep.prefill.otherKernelTime = layer_prefill.otherKernelTime * L;
     rep.prefill.overheadTime = layer_prefill.overheadTime * L;
     rep.prefill.memoryTime = layer_prefill.memoryTime * L;
-    rep.prefill.commTime =
+    const double prefill_layer_comm =
         layerCommTime(sys, opts,
                       double(opts.batch) * opts.promptLength,
-                      double(cfg.hiddenSize)) * L;
+                      double(cfg.hiddenSize));
+    rep.prefill.commTime = prefill_layer_comm * L;
     rep.prefill.time += rep.prefill.commTime;
+
+    if (tron)
+        for (long long l = 0; l < L; ++l) {
+            for (size_t i = 0; i < prefill_ops.size(); ++i) {
+                TraceSpan s = kernelSpan(
+                    dev, prefill_ops[i].name,
+                    traceCategory("prefill", prefill_ops[i],
+                                  prefill_ests[i]),
+                    prefill_ests[i]);
+                s.layer = l;
+                tr->emit(lane_prefill, std::move(s));
+            }
+            if (prefill_layer_comm > 0.0) {
+                TraceSpan s;
+                s.name = "tp-allreduce";
+                s.category = "prefill-comm";
+                s.duration = prefill_layer_comm;
+                s.layer = l;
+                tr->emit(lane_prefill_comm, std::move(s));
+            }
+        }
 
     // First sampled token: the LM head runs once on the last position.
     for (const Op &op : headOps(cfg, opts.batch, opts.tensorParallel,
-                                opts.precision))
-        accumulate(rep.prefill, dev, op);
+                                opts.precision)) {
+        KernelEstimate est = accumulate(rep.prefill, dev, op);
+        if (tron)
+            tr->emit(lane_prefill,
+                     kernelSpan(dev, op.name,
+                                traceCategory("prefill", op, est),
+                                est));
+    }
 
     // ---- Decode (auto-regressive generation) -------------------------
     for (long long i = 0; i < opts.generateLength; ++i) {
@@ -110,8 +174,23 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
         for (const Op &op : decodeLayerOps(cfg, opts.batch, context,
                                            opts.tensorParallel,
                                            opts.precision,
-                                           opts.kvPrecision))
-            accumulate(step, dev, op);
+                                           opts.kvPrecision)) {
+            KernelEstimate est = accumulate(step, dev, op);
+            if (tron) {
+                // One span aggregates the op over all L layers of
+                // this token (duration, FLOPs and traffic scaled).
+                TraceSpan s = kernelSpan(
+                    dev, op.name,
+                    traceCategory("decode", op, est), est);
+                s.duration = est.time * double(L);
+                s.flops = est.flops * double(L);
+                for (double &b : s.bytesPerLevel)
+                    b *= double(L);
+                s.overhead = est.overhead * double(L);
+                s.step = i;
+                tr->emit(lane_decode, std::move(s));
+            }
+        }
 
         rep.decode.time += step.time * L;
         rep.decode.computeBoundGemmTime +=
@@ -126,13 +205,29 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
                                     double(cfg.hiddenSize)) * L;
         rep.decode.commTime += comm;
         rep.decode.time += comm;
+        if (tron && comm > 0.0) {
+            TraceSpan s;
+            s.name = "tp-allreduce";
+            s.category = "decode-comm";
+            s.duration = comm;
+            s.step = i;
+            tr->emit(lane_decode_comm, std::move(s));
+        }
 
         // Sampling head for this token.
         PhaseReport head;
         for (const Op &op : headOps(cfg, opts.batch,
                                     opts.tensorParallel,
-                                    opts.precision))
-            accumulate(head, dev, op);
+                                    opts.precision)) {
+            KernelEstimate est = accumulate(head, dev, op);
+            if (tron) {
+                TraceSpan s = kernelSpan(
+                    dev, op.name,
+                    traceCategory("decode", op, est), est);
+                s.step = i;
+                tr->emit(lane_decode, std::move(s));
+            }
+        }
         rep.decode.time += head.time;
         rep.decode.memoryTime += head.memoryTime;
         rep.decode.overheadTime += head.overheadTime;
@@ -170,6 +265,12 @@ evaluateInference(const TransformerConfig &cfg, const System &sys,
                              double(opts.generateLength);
         rep.decode.commTime += decode_comm;
         rep.decode.time += decode_comm;
+        if (tron) {
+            tr->emit(lane_prefill_comm, "pp-hops", "prefill-comm",
+                     hops * prefill_hop);
+            tr->emit(lane_decode_comm, "pp-hops", "decode-comm",
+                     decode_comm);
+        }
     }
 
     rep.totalLatency = rep.prefill.time + rep.decode.time;

@@ -19,6 +19,8 @@
 
 namespace optimus {
 
+class TraceSession;
+
 /** Inference scenario description. */
 struct InferenceOptions
 {
@@ -45,6 +47,15 @@ struct InferenceOptions
      * footprint and the attention read traffic of long contexts.
      */
     Precision kvPrecision = Precision::FP16;
+
+    /**
+     * Optional trace sink (trace/trace.h). When set to an enabled
+     * session, the evaluator records a per-kernel span for every
+     * modeled prefill/decode op (FLOPs, traffic, bound type) and the
+     * TP/PP communication; per-category span sums exactly reproduce
+     * the PhaseReport fields. Null (the default) costs nothing.
+     */
+    TraceSession *trace = nullptr;
 };
 
 /** One row of the per-GEMM bound table (paper Table 4). */

@@ -4,6 +4,7 @@
 
 #include "lint/lint.h"
 #include "memory/footprint.h"
+#include "trace/trace.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -32,6 +33,8 @@ planTraining(const TransformerConfig &model, const System &sys,
                 "planner needs at least one microbatch size");
 
     std::vector<TrainingPlan> plans;
+    TraceSession *tr = opts.trace;
+    const bool tron = tracing(tr);
 
     for (long long tp = 1; tp <= sys.devicesPerNode; tp *= 2) {
         for (long long pp = 1;
@@ -63,9 +66,16 @@ planTraining(const TransformerConfig &model, const System &sys,
                     // One lint call replaces the hand-rolled
                     // divisibility checks: skip illegal mappings
                     // before touching memory or timing models.
+                    if (tron)
+                        tr->counterAdd(
+                            "planner/mappings-enumerated");
                     if (!lint::isLegalMapping(model, sys, par,
-                                              global_batch))
+                                              global_batch)) {
+                        if (tron)
+                            tr->counterAdd(
+                                "planner/pruned-illegal");
                         continue;
+                    }
 
                     for (Recompute r : opts.recomputeChoices) {
                         for (int zero : opts.zeroStages) {
@@ -87,8 +97,15 @@ planTraining(const TransformerConfig &model, const System &sys,
                                     model, par, global_batch,
                                     opts.seqLength, r, topts.memory);
                             if (mem.total() >
-                                sys.device.dram().capacity)
+                                sys.device.dram().capacity) {
+                                if (tron)
+                                    tr->counterAdd(
+                                        "planner/pruned-memory");
                                 continue;
+                            }
+                            if (tron)
+                                tr->counterAdd(
+                                    "planner/plans-evaluated");
 
                             TrainingPlan plan;
                             plan.parallel = par;
@@ -137,16 +154,23 @@ planServing(const TransformerConfig &model, const System &sys,
     checkPositive(opts.maxBatch, "maxBatch");
 
     std::vector<ServingPlan> plans;
+    TraceSession *tr = opts.trace;
+    const bool tron = tracing(tr);
     for (long long tp : opts.tensorParallelChoices) {
         if (tp > sys.totalDevices() || model.numHeads % tp != 0 ||
-            model.ffnHidden % tp != 0)
+            model.ffnHidden % tp != 0) {
+            if (tron)
+                tr->counterAdd("planner/serving-tp-skipped");
             continue;
+        }
         ServingOptions sopts = opts.serving;
         sopts.tensorParallel = tp;
 
         ServingPlan best;
         bool any = false;
         for (long long b = 1; b <= opts.maxBatch; b *= 2) {
+            if (tron)
+                tr->counterAdd("planner/serving-points");
             ServingPoint pt =
                 evaluateServingPoint(model, sys, sopts, b);
             if (!pt.fits)

@@ -18,6 +18,8 @@
 
 namespace optimus {
 
+class TraceSession;
+
 /** Search-space switches for the training planner. */
 struct TrainingPlannerOptions
 {
@@ -33,6 +35,14 @@ struct TrainingPlannerOptions
     bool tryInterleaving = true;
     /** Keep at most this many ranked plans. */
     size_t keep = 10;
+
+    /**
+     * Optional trace sink: counts candidate mappings enumerated
+     * ("planner/mappings-enumerated"), mappings discarded by lint
+     * ("planner/pruned-illegal") or memory ("planner/pruned-memory"),
+     * and full evaluations ("planner/plans-evaluated").
+     */
+    TraceSession *trace = nullptr;
 };
 
 /** One viable plan with its predicted outcome. */
@@ -63,6 +73,13 @@ struct ServingPlannerOptions
     double maxInterTokenLatency = 0.0; ///< SLO seconds; 0 = unlimited
     long long maxBatch = 256;
     std::vector<long long> tensorParallelChoices = {1, 2, 4, 8};
+
+    /**
+     * Optional trace sink: counts serving points evaluated
+     * ("planner/serving-points") and TP choices skipped
+     * ("planner/serving-tp-skipped").
+     */
+    TraceSession *trace = nullptr;
 };
 
 /** One viable serving deployment. */

@@ -6,6 +6,14 @@
 
 namespace optimus {
 
+std::string
+boundLevelName(const Device &dev, int bound_level)
+{
+    if (bound_level < 0)
+        return "compute";
+    return dev.mem.at(static_cast<size_t>(bound_level)).name;
+}
+
 void
 finalizeEstimate(KernelEstimate &est)
 {

@@ -19,6 +19,17 @@
 namespace optimus {
 
 /**
+ * Canonical name of a binding resource: "compute" for @p bound_level
+ * -1, otherwise the device's memory-level name ("DRAM", "L2", ...).
+ *
+ * Every human-readable bound string in the code base — Table 4's
+ * GemmBoundRow::boundType, the roofline report, trace spans — goes
+ * through this single function so the spellings can never diverge
+ * between outputs.
+ */
+std::string boundLevelName(const Device &dev, int bound_level);
+
+/**
  * Result of evaluating one kernel on one device.
  *
  * boundLevel identifies the binding resource: -1 means compute-bound,
@@ -46,9 +57,7 @@ struct KernelEstimate
     std::string
     boundName(const Device &dev) const
     {
-        if (boundLevel < 0)
-            return "compute";
-        return dev.mem.at(static_cast<size_t>(boundLevel)).name;
+        return boundLevelName(dev, boundLevel);
     }
 
     /** Arithmetic intensity against DRAM traffic (FLOP/byte). */

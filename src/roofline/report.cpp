@@ -30,7 +30,7 @@ rooflinePoints(const Device &dev, const std::vector<Op> &ops)
         pt.time = est.time;
         pt.intensity = est.dramIntensity();
         pt.achieved = est.time > 0.0 ? est.flops / est.time : 0.0;
-        pt.bound = est.boundName(dev);
+        pt.bound = boundLevelName(dev, est.boundLevel);
         out.push_back(std::move(pt));
     }
     return out;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace exporters: Chrome trace-event JSON (opens directly in
+ * Perfetto / chrome://tracing), a per-kernel CSV, and an aggregated
+ * text summary.
+ *
+ * Chrome trace-event mapping: every lane becomes a thread (tid) of
+ * pid 0 named via "M" thread_name metadata events; spans become
+ * complete ("X") events with microsecond timestamps; counter samples
+ * become counter ("C") events on pid 1, sequenced by sample index.
+ */
+
+#ifndef OPTIMUS_TRACE_EXPORT_H
+#define OPTIMUS_TRACE_EXPORT_H
+
+#include <string>
+
+#include "trace/trace.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace optimus {
+
+/** Serialize @p session as a Chrome trace-event JSON document. */
+JsonValue chromeTraceJson(const TraceSession &session);
+
+/**
+ * Per-kernel CSV: one row per span carrying kernel detail (name,
+ * category, lane, start/duration, microbatch/layer/step, FLOPs, DRAM
+ * bytes, launch overhead, bound type).
+ */
+std::string kernelCsv(const TraceSession &session);
+
+/** Per-category totals (category, seconds, % of total, spans). */
+Table categorySummaryTable(const TraceSession &session);
+
+/** Final counter values (counter, value). */
+Table counterSummaryTable(const TraceSession &session);
+
+/**
+ * Aggregated human-readable summary: span/lane statistics, the
+ * category table and the counter table.
+ */
+std::string summaryText(const TraceSession &session);
+
+} // namespace optimus
+
+#endif // OPTIMUS_TRACE_EXPORT_H

@@ -4,6 +4,7 @@
 
 #include "parallel/pipeline.h"
 #include "roofline/stream.h"
+#include "trace/trace.h"
 #include "util/error.h"
 #include "workload/graph.h"
 
@@ -81,6 +82,25 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
     TrainingReport rep;
     rep.microbatches = m;
 
+    // Trace lanes model the critical (worst) pipeline stage — the one
+    // whose per-device time the analytical model predicts. Categories
+    // are named after TrainingBreakdown fields so per-category span
+    // sums reproduce the breakdown exactly.
+    TraceSession *tr = opts.trace;
+    const bool tron = tracing(tr);
+    int lane_fwd = 0, lane_bwd = 0, lane_rec = 0, lane_comm = 0,
+        lane_other = 0;
+    if (tron) {
+        lane_fwd = tr->lane("stage0/fwd");
+        lane_bwd = tr->lane("stage0/bwd");
+        lane_rec = tr->lane("stage0/recompute");
+        lane_comm = tr->lane("stage0/comm");
+        lane_other = tr->lane("stage0/other");
+        tr->counterAdd("train/microbatches", double(m));
+        tr->counterAdd("train/layers-per-stage",
+                       double(layers_local));
+    }
+
     // ---- Per-layer per-microbatch device times ----------------------
     LayerGraphParams gp;
     gp.batch = par.microbatchSize;
@@ -116,6 +136,59 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
     t.backward = rep.layerBackward.time * layers_mb;
     t.recompute = rep.layerForward.time * recompute_frac * layers_mb;
 
+    if (tron) {
+        // Per-kernel detail of one representative (microbatch 0,
+        // local layer 0) forward/backward pass. Category "kernel"
+        // keeps these out of the breakdown-matching categories.
+        int lane_kf = tr->lane("kernels/fwd");
+        int lane_kb = tr->lane("kernels/bwd");
+        for (const Op &op : layerForwardOps(cfg, gp)) {
+            TraceSpan s = kernelSpan(dev, op.name, "kernel",
+                                     evaluateOp(dev, op));
+            s.microbatch = 0;
+            s.layer = 0;
+            tr->emit(lane_kf, std::move(s));
+        }
+        for (const Op &op : layerBackwardOps(cfg, gp)) {
+            TraceSpan s = kernelSpan(dev, op.name, "kernel",
+                                     evaluateOp(dev, op));
+            s.microbatch = 0;
+            s.layer = 0;
+            tr->emit(lane_kb, std::move(s));
+        }
+
+        for (long long mb = 0; mb < m; ++mb) {
+            for (long long l = 0; l < layers_local; ++l) {
+                TraceSpan f;
+                f.name = "layer-fwd";
+                f.category = "forward";
+                f.duration = rep.layerForward.time;
+                f.microbatch = mb;
+                f.layer = l;
+                tr->emit(lane_fwd, std::move(f));
+
+                TraceSpan b;
+                b.name = "layer-bwd";
+                b.category = "backward";
+                b.duration = rep.layerBackward.time;
+                b.microbatch = mb;
+                b.layer = l;
+                tr->emit(lane_bwd, std::move(b));
+
+                if (recompute_frac > 0.0) {
+                    TraceSpan r;
+                    r.name = "layer-recompute";
+                    r.category = "recompute";
+                    r.duration =
+                        rep.layerForward.time * recompute_frac;
+                    r.microbatch = mb;
+                    r.layer = l;
+                    tr->emit(lane_rec, std::move(r));
+                }
+            }
+        }
+    }
+
     // ---- Embedding + LM head (worst stage carries both) -------------
     const long long mb_tokens = par.microbatchSize * opts.seqLength;
     KernelEstimate head =
@@ -134,6 +207,15 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
     double worst_extra = (pp > 1) ? std::max(head_time, embed_time)
                                   : head_time + embed_time;
     t.embedding = worst_extra * double(m);
+    if (tron)
+        for (long long mb = 0; mb < m; ++mb) {
+            TraceSpan s;
+            s.name = "embed+head";
+            s.category = "embedding";
+            s.duration = worst_extra;
+            s.microbatch = mb;
+            tr->emit(lane_fwd, std::move(s));
+        }
 
     // ---- Tensor/sequence-parallel collectives ------------------------
     if (tp > 1) {
@@ -150,6 +232,20 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
             GroupScope::IntraNode, opts.collectiveAlgorithm);
         t.tpComm = ar.time * ops_per_layer * layers_mb *
                    (1.0 - opts.tpOverlapFraction);
+        if (tron) {
+            double per_layer = ar.time * ops_per_layer *
+                               (1.0 - opts.tpOverlapFraction);
+            for (long long mb = 0; mb < m; ++mb)
+                for (long long l = 0; l < layers_local; ++l) {
+                    TraceSpan s;
+                    s.name = "tp-allreduce";
+                    s.category = "tp-comm";
+                    s.duration = per_layer;
+                    s.microbatch = mb;
+                    s.layer = l;
+                    tr->emit(lane_comm, std::move(s));
+                }
+        }
     }
 
     // ---- Context-parallel ring-attention KV exchange --------------------
@@ -173,6 +269,19 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
             sys, CollectiveKind::AllGather, kv_volume,
             par.contextParallel, scope, opts.collectiveAlgorithm);
         t.cpComm = ag.time * ops_per_layer * layers_mb;
+        if (tron) {
+            double per_layer = ag.time * ops_per_layer;
+            for (long long mb = 0; mb < m; ++mb)
+                for (long long l = 0; l < layers_local; ++l) {
+                    TraceSpan s;
+                    s.name = "cp-ring-exchange";
+                    s.category = "cp-comm";
+                    s.duration = per_layer;
+                    s.microbatch = mb;
+                    s.layer = l;
+                    tr->emit(lane_comm, std::move(s));
+                }
+        }
     }
 
     // ---- MoE expert-parallel all-to-all --------------------------------
@@ -191,6 +300,19 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
             sys, CollectiveKind::AllToAll, ep_volume,
             par.expertParallel, scope, opts.collectiveAlgorithm);
         t.epComm = a2a.time * ops_per_layer * layers_mb;
+        if (tron) {
+            double per_layer = a2a.time * ops_per_layer;
+            for (long long mb = 0; mb < m; ++mb)
+                for (long long l = 0; l < layers_local; ++l) {
+                    TraceSpan s;
+                    s.name = "ep-alltoall";
+                    s.category = "ep-comm";
+                    s.duration = per_layer;
+                    s.microbatch = mb;
+                    s.layer = l;
+                    tr->emit(lane_comm, std::move(s));
+                }
+        }
     }
 
     // ---- Pipeline schedule -------------------------------------------
@@ -209,12 +331,23 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
             sys, CollectiveKind::PointToPoint, p2p_volume, 2, scope,
             opts.collectiveAlgorithm);
         t.ppComm = p2p.time * pc.p2pPerMicrobatch * double(m);
+        if (tron)
+            for (long long mb = 0; mb < m; ++mb) {
+                TraceSpan s;
+                s.name = "pp-p2p";
+                s.category = "pp-comm";
+                s.duration = p2p.time * pc.p2pPerMicrobatch;
+                s.microbatch = mb;
+                tr->emit(lane_comm, std::move(s));
+            }
     }
 
     // Bubble applies to the busy time of one pipeline iteration.
     double busy = t.forward + t.backward + t.recompute + t.embedding +
                   t.tpComm + t.cpComm + t.epComm + t.ppComm;
     t.bubble = busy * pc.bubbleFraction;
+    if (tron && t.bubble > 0.0)
+        tr->emit(lane_other, "pipeline-bubble", "bubble", t.bubble);
 
     // ---- Data-parallel gradient communication --------------------------
     if (par.dataParallel > 1) {
@@ -233,6 +366,9 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
             sys, CollectiveKind::AllReduce, grad_volume,
             par.dataParallel, scope, opts.collectiveAlgorithm);
         t.dpComm = ar.time * (1.0 - opts.dpOverlapFraction);
+        if (tron)
+            tr->emit(lane_comm, "dp-grad-allreduce", "dp-comm",
+                     ar.time * (1.0 - opts.dpOverlapFraction));
         if (opts.memory.zeroStage >= 3) {
             double weight_volume = parametersPerDevice(cfg, par) *
                                    opts.memory.weightBytes;
@@ -240,6 +376,12 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
                 sys, CollectiveKind::AllGather, weight_volume,
                 par.dataParallel, scope, opts.collectiveAlgorithm);
             t.dpComm += 2.0 * ag.time;
+            if (tron) {
+                tr->emit(lane_comm, "zero3-weight-allgather",
+                         "dp-comm", ag.time);
+                tr->emit(lane_comm, "zero3-weight-allgather",
+                         "dp-comm", ag.time);
+            }
         }
     }
 
@@ -253,6 +395,9 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
     double opt_bytes = params * (3.0 * 4.0 + 2.0 + 3.0 * 4.0 + 2.0);
     t.optimizer =
         opt_bytes / (dev.dram().bandwidth * dev.dram().utilization);
+    if (tron)
+        tr->emit(lane_other, "optimizer-step", "optimizer",
+                 t.optimizer);
 
     rep.timePerBatch = t.total();
 
@@ -265,6 +410,10 @@ evaluateTraining(const TransformerConfig &cfg, const System &sys,
     double system_peak = dev.matrixFlops(opts.precision) *
                          double(sys.totalDevices());
     rep.mfu = rep.modelFlops / (rep.timePerBatch * system_peak);
+    if (tron) {
+        tr->counterSet("train/time-per-batch-s", rep.timePerBatch);
+        tr->counterSet("train/mfu", rep.mfu);
+    }
 
     return rep;
 }

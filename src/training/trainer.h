@@ -23,6 +23,8 @@
 
 namespace optimus {
 
+class TraceSession;
+
 /** Tunables of the training evaluation. */
 struct TrainingOptions
 {
@@ -40,6 +42,16 @@ struct TrainingOptions
     /** IO-aware fused attention kernels (paper's [6,7]). */
     bool flashAttention = false;
     MemoryOptions memory;
+
+    /**
+     * Optional trace sink (trace/trace.h). When set to an enabled
+     * session, the evaluator records a span for every modeled event
+     * (per-microbatch per-layer compute, collectives, p2p hops,
+     * bubble, optimizer) whose per-category sums exactly reproduce
+     * the returned TrainingBreakdown, plus per-kernel detail spans.
+     * Null (the default) costs nothing.
+     */
+    TraceSession *trace = nullptr;
 };
 
 /** Time breakdown per global batch, seconds. */

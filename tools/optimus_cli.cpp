@@ -98,6 +98,37 @@ resolveRecompute(const Args &args)
     throw ConfigError("unknown --recompute value: " + name);
 }
 
+TrainingOptions
+resolveTrainingOptions(const Args &args, const JsonValue &cfg)
+{
+    if (cfg.isObject() && cfg.has("training"))
+        return config::trainingOptionsFromJson(cfg.at("training"));
+    TrainingOptions opts;
+    opts.recompute = resolveRecompute(args);
+    opts.seqLength = args.getInt("seq", 2048);
+    opts.precision = parsePrecision(args.get("precision", "fp16"));
+    opts.flashAttention = args.has("flash-attention");
+    opts.memory.flashAttention = opts.flashAttention;
+    opts.memory.zeroStage = static_cast<int>(args.getInt("zero", 0));
+    return opts;
+}
+
+InferenceOptions
+resolveInferenceOptions(const Args &args, const JsonValue &cfg)
+{
+    if (cfg.isObject() && cfg.has("inference"))
+        return config::inferenceOptionsFromJson(cfg.at("inference"));
+    InferenceOptions opts;
+    opts.tensorParallel = args.getInt("tp", 1);
+    opts.pipelineParallel = args.getInt("pp", 1);
+    opts.batch = args.getInt("batch", 1);
+    opts.promptLength = args.getInt("prompt", 200);
+    opts.generateLength = args.getInt("generate", 200);
+    opts.precision = parsePrecision(args.get("precision", "fp16"));
+    opts.flashAttention = args.has("flash-attention");
+    return opts;
+}
+
 int
 cmdTrain(const Args &args)
 {
@@ -114,19 +145,7 @@ cmdTrain(const Args &args)
     }
     long long batch = args.getInt("batch", 64);
 
-    TrainingOptions opts;
-    if (cfg.isObject() && cfg.has("training"))
-        opts = config::trainingOptionsFromJson(cfg.at("training"));
-    else {
-        opts.recompute = resolveRecompute(args);
-        opts.seqLength = args.getInt("seq", 2048);
-        opts.precision =
-            parsePrecision(args.get("precision", "fp16"));
-        opts.flashAttention = args.has("flash-attention");
-        opts.memory.flashAttention = opts.flashAttention;
-        opts.memory.zeroStage =
-            static_cast<int>(args.getInt("zero", 0));
-    }
+    TrainingOptions opts = resolveTrainingOptions(args, cfg);
 
     TrainingReport rep = evaluateTraining(model, sys, par, batch,
                                           opts);
@@ -167,19 +186,7 @@ cmdInfer(const Args &args)
     TransformerConfig model = resolveModel(args, cfg);
     System sys = resolveSystem(args, cfg);
 
-    InferenceOptions opts;
-    if (cfg.isObject() && cfg.has("inference"))
-        opts = config::inferenceOptionsFromJson(cfg.at("inference"));
-    else {
-        opts.tensorParallel = args.getInt("tp", 1);
-        opts.pipelineParallel = args.getInt("pp", 1);
-        opts.batch = args.getInt("batch", 1);
-        opts.promptLength = args.getInt("prompt", 200);
-        opts.generateLength = args.getInt("generate", 200);
-        opts.precision =
-            parsePrecision(args.get("precision", "fp16"));
-        opts.flashAttention = args.has("flash-attention");
-    }
+    InferenceOptions opts = resolveInferenceOptions(args, cfg);
 
     InferenceReport rep = evaluateInference(model, sys, opts);
 
@@ -428,6 +435,221 @@ cmdLint(const Args &args)
 }
 
 int
+cmdTrace(const Args &args)
+{
+    std::string path = args.positionals().empty()
+                           ? args.get("config", "")
+                           : args.positionals().front();
+    JsonValue cfg = JsonValue::object();
+    if (!path.empty()) {
+        std::ifstream in(path);
+        checkConfig(in.good(), "cannot open config file " + path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        cfg = JsonValue::parse(ss.str());
+    }
+
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+    bool infer = (cfg.isObject() && cfg.has("inference")) ||
+                 args.get("mode", "train") == "infer";
+
+    TraceSession session;
+    double model_total = 0.0;
+    std::string what;
+    if (infer) {
+        InferenceOptions opts = resolveInferenceOptions(args, cfg);
+        lint::LintReport lrep = lint::lintInference(model, sys, opts);
+        session.counterAdd("lint/diagnostics",
+                           double(lrep.diagnostics().size()));
+        session.counterAdd("lint/errors", double(lrep.errorCount()));
+        session.counterAdd("lint/warnings",
+                           double(lrep.warningCount()));
+        opts.trace = &session;
+        InferenceReport rep = evaluateInference(model, sys, opts);
+        model_total = rep.totalLatency;
+        what = "inference latency";
+    } else {
+        ParallelConfig par = resolveParallel(args, cfg);
+        if (!args.has("dp") &&
+            !(cfg.isObject() && cfg.has("parallel"))) {
+            long long rest =
+                par.tensorParallel * par.pipelineParallel;
+            if (sys.totalDevices() % rest == 0)
+                par.dataParallel = sys.totalDevices() / rest;
+        }
+        long long batch = args.getInt("batch", 64);
+        TrainingOptions opts = resolveTrainingOptions(args, cfg);
+        lint::LintReport lrep =
+            lint::lintTraining(model, sys, par, batch, opts);
+        session.counterAdd("lint/diagnostics",
+                           double(lrep.diagnostics().size()));
+        session.counterAdd("lint/errors", double(lrep.errorCount()));
+        session.counterAdd("lint/warnings",
+                           double(lrep.warningCount()));
+        opts.trace = &session;
+        TrainingReport rep =
+            evaluateTraining(model, sys, par, batch, opts);
+        model_total = rep.timePerBatch;
+        what = "training time per batch";
+    }
+
+    // The trace is a decomposition of the model: span sums per
+    // category (kernel-detail spans excluded) must reproduce the
+    // aggregate report.
+    double trace_total = 0.0;
+    for (const auto &kv : session.categoryTotals())
+        if (kv.first != "kernel")
+            trace_total += kv.second;
+
+    std::string out = args.get("out", "trace.json");
+    {
+        std::ofstream f(out);
+        checkConfig(f.good(), "cannot write trace file " + out);
+        f << chromeTraceJson(session).dump() << "\n";
+    }
+    std::cout << model.name << " on " << sys.device.name << ", "
+              << what << " " << formatTime(model_total) << "\n\n"
+              << summaryText(session) << "\n"
+              << "trace span total " << trace_total
+              << " s vs model total " << model_total << " s (delta "
+              << trace_total - model_total << " s)\n"
+              << "wrote " << out
+              << " (open in https://ui.perfetto.dev or "
+                 "chrome://tracing)\n";
+    if (args.has("csv")) {
+        std::string csv_path = args.get("csv", "kernels.csv");
+        std::ofstream c(csv_path);
+        checkConfig(c.good(), "cannot write csv file " + csv_path);
+        c << kernelCsv(session);
+        std::cout << "wrote " << csv_path << "\n";
+    }
+    return 0;
+}
+
+DramTech
+resolveDramTech(const std::string &name)
+{
+    if (name == "gddr6")
+        return dram::gddr6();
+    if (name == "hbm2")
+        return dram::hbm2();
+    if (name == "hbm2e")
+        return dram::hbm2e();
+    if (name == "hbm3-26")
+        return dram::hbm3_26();
+    if (name == "hbm3")
+        return dram::hbm3();
+    if (name == "hbm3e")
+        return dram::hbm3e();
+    if (name == "hbm4")
+        return dram::hbm4();
+    if (name == "hbmx")
+        return dram::hbmx();
+    throw ConfigError("unknown --dram value: " + name);
+}
+
+int
+cmdDse(const Args &args)
+{
+    TechConfig tech;
+    tech.node = logicNode(args.get("node", "N5"));
+    tech.dram = resolveDramTech(args.get("dram", "hbm3"));
+    tech.areaBudget = args.getNumber("area", tech.areaBudget);
+    tech.powerBudget = args.getNumber("power", tech.powerBudget);
+
+    const int gpus = static_cast<int>(args.getInt("gpus-per-node", 8));
+    std::string mode = args.get("mode", "train");
+    DeviceObjective objective;
+    std::string label;
+    TransformerConfig model = config::modelPreset(args.get(
+        "model", mode == "infer" ? "llama2-13b" : "gpt-7b"));
+    if (mode == "infer") {
+        InferenceOptions opts;
+        opts.tensorParallel = args.getInt("tp", 1);
+        opts.batch = args.getInt("batch", 1);
+        opts.promptLength = args.getInt("prompt", 200);
+        opts.generateLength = args.getInt("generate", 200);
+        objective = [=](const Device &dev) {
+            System s = makeSystem(dev, gpus, 1, presets::nvlink4(),
+                                  nettech::gdrX8());
+            return evaluateInference(model, s, opts).totalLatency;
+        };
+        label = model.name + " inference latency";
+    } else if (mode == "train") {
+        const int nodes = static_cast<int>(args.getInt("nodes", 16));
+        ParallelConfig par;
+        par.tensorParallel = args.getInt("tp", 4);
+        par.pipelineParallel = args.getInt("pp", 4);
+        long long rest = par.tensorParallel * par.pipelineParallel;
+        par.dataParallel =
+            args.getInt("dp", static_cast<long long>(gpus) * nodes /
+                                  rest);
+        par.sequenceParallel = par.tensorParallel > 1;
+        long long batch = args.getInt("batch", 512);
+        TrainingOptions topts;
+        topts.recompute = Recompute::Selective;
+        topts.seqLength = args.getInt("seq", 2048);
+        objective = [=](const Device &dev) {
+            System s = makeSystem(dev, gpus, nodes,
+                                  presets::nvlink4(),
+                                  nettech::gdrX8());
+            return evaluateTraining(model, s, par, batch, topts)
+                .timePerBatch;
+        };
+        label = model.name + " training time per batch";
+    } else {
+        throw ConfigError("unknown --mode value: " + mode);
+    }
+
+    DseOptions dopts;
+    dopts.gridSteps =
+        static_cast<int>(args.getInt("grid", dopts.gridSteps));
+    dopts.refineRounds =
+        static_cast<int>(args.getInt("rounds", dopts.refineRounds));
+
+    TraceSession session;
+    dopts.trace = &session;
+    const bool verbose = args.has("verbose");
+    if (verbose)
+        dopts.onRound = [](const DseRound &r) {
+            std::cout << (r.round < 0
+                              ? std::string("grid")
+                              : "round " + std::to_string(r.round))
+                      << ": best " << formatTime(r.bestObjective)
+                      << " after " << r.evaluations
+                      << " evaluations (step " << r.step << ")\n";
+        };
+
+    DseResult r = optimizeAllocation(tech, objective, dopts);
+    if (verbose)
+        std::cout << "\n";
+    const Device &d = r.device;
+    std::cout << "DSE at " << tech.node.name << " + "
+              << tech.dram.name << " (" << tech.areaBudget
+              << " mm^2, " << tech.powerBudget
+              << " W), objective: " << label << "\n\n"
+              << "  compute area fraction : "
+              << r.allocation.computeAreaFraction << "\n"
+              << "  compute power fraction: "
+              << r.allocation.computePowerFraction << "\n"
+              << "  fp16 matrix throughput: "
+              << formatFlops(d.matrixFlops(Precision::FP16)) << "\n"
+              << "  L2 capacity           : "
+              << formatBytes(d.level("L2").capacity) << "\n"
+              << "  objective             : " << formatTime(r.objective)
+              << "\n"
+              << "  evaluations           : " << r.evaluations
+              << " (" << session.counter("dse/pruned")
+              << " pruned by lint)\n";
+    if (verbose) {
+        std::cout << "\n";
+        counterSummaryTable(session).print(std::cout);
+    }
+    return 0;
+}
+
+int
 cmdPresets()
 {
     std::cout << "Device presets:\n";
@@ -467,6 +689,12 @@ usage()
         "[--batch B]\n"
         "  lint     <config.json> [--batch B] - static-check a config\n"
         "           without evaluating it (exit 1 on errors)\n"
+        "  trace    <config.json> [--out trace.json] [--csv FILE]\n"
+        "           record a Perfetto-loadable timeline of the "
+        "modeled run\n"
+        "  dse      [--mode train|infer] [--node N3|N5] [--dram D]\n"
+        "           [--area MM2] [--power W] [--verbose]\n"
+        "           optimize the compute/memory area+power split\n"
         "  presets  list built-in presets\n"
         "\n"
         "common flags: --config FILE (JSON), --json (JSON output)\n";
@@ -494,6 +722,10 @@ main(int argc, char **argv)
             return cmdMemory(args);
         if (args.command() == "lint")
             return cmdLint(args);
+        if (args.command() == "trace")
+            return cmdTrace(args);
+        if (args.command() == "dse")
+            return cmdDse(args);
         if (args.command() == "presets")
             return cmdPresets();
         return usage();
