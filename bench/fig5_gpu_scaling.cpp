@@ -55,34 +55,39 @@ main()
     {
         std::string label;
         TrainingReport rep;
-        double throughput;  ///< sequences per second
+        double throughput = 0.0;  ///< sequences per second
     };
-    std::vector<Result> results;
 
-    for (const Config &c : configs) {
-        ParallelConfig par;
-        par.dataParallel = 128;
-        par.tensorParallel = 8;
-        par.pipelineParallel = 8;
-        par.sequenceParallel = true;
-        // Plain PipeDream-Flush, as the paper's batch-size discussion
-        // implies: the 1024-batch rows run only 8 microbatches per
-        // pipeline and pay a large bubble, which the "L" rows
-        // amortize (that is how a larger batch "accelerates" here).
-        par.schedule = PipelineSchedule::OneFOneB;
+    // The per-generation evaluations are independent; fan them out
+    // (OPTIMUS_THREADS controls the width, default serial). Results
+    // land by slot, so the table is identical at any thread count.
+    std::vector<Result> results = exec::parallelMap(
+        static_cast<long long>(configs.size()), resolveThreads(),
+        [&](long long idx) {
+            const Config &c = configs[static_cast<size_t>(idx)];
+            ParallelConfig par;
+            par.dataParallel = 128;
+            par.tensorParallel = 8;
+            par.pipelineParallel = 8;
+            par.sequenceParallel = true;
+            // Plain PipeDream-Flush, as the paper's batch-size
+            // discussion implies: the 1024-batch rows run only 8
+            // microbatches per pipeline and pay a large bubble,
+            // which the "L" rows amortize (that is how a larger
+            // batch "accelerates" here).
+            par.schedule = PipelineSchedule::OneFOneB;
 
-        TrainingOptions opts;
-        opts.precision = c.precision;
-        opts.recompute = Recompute::Selective;
-        opts.memory.activationBytes =
-            std::max(1.0, precisionBytes(c.precision));
+            TrainingOptions opts;
+            opts.precision = c.precision;
+            opts.recompute = Recompute::Selective;
+            opts.memory.activationBytes =
+                std::max(1.0, precisionBytes(c.precision));
 
-        TrainingReport rep =
-            evaluateTraining(models::gpt175b(), c.sys, par, c.batch,
-                             opts);
-        results.push_back(
-            {c.label, rep, double(c.batch) / rep.timePerBatch});
-    }
+            TrainingReport rep = evaluateTraining(
+                models::gpt175b(), c.sys, par, c.batch, opts);
+            return Result{c.label, rep,
+                          double(c.batch) / rep.timePerBatch};
+        });
 
     // Normalize throughput-per-batch against B200-NVS-L, as in the
     // figure ("training times are normalized against B200-NVS-L").

@@ -52,6 +52,12 @@ main()
     DseOptions dse;
     dse.gridSteps = 3;
     dse.refineRounds = 10;
+    // Each (node, DRAM) cell is an independent DSE run: fan the cells
+    // out through the exec layer and keep each inner search serial so
+    // the worker count stays bounded. Cells land by slot, so the
+    // printed tables are identical at any OPTIMUS_THREADS value.
+    dse.threads = 1;
+    const int threads = resolveThreads();
 
     for (const NetworkLink &net : nettech::scalingSweep()) {
         std::vector<std::string> headers = {"Node"};
@@ -59,20 +65,38 @@ main()
             headers.push_back(d.name);
         Table out(std::move(headers));
 
-        for (const LogicNode &node : logicNodes()) {
-            out.beginRow().cell(node.name);
-            for (const DramTech &d : dram::trainingSweep()) {
+        struct Cell
+        {
+            LogicNode node;
+            DramTech dram;
+        };
+        std::vector<Cell> cells;
+        for (const LogicNode &node : logicNodes())
+            for (const DramTech &d : dram::trainingSweep())
+                cells.push_back(Cell{node, d});
+
+        std::vector<double> objectives = exec::parallelMap(
+            static_cast<long long>(cells.size()), threads,
+            [&](long long i) {
+                const Cell &c = cells[static_cast<size_t>(i)];
                 TechConfig tech;
-                tech.node = node;
-                tech.dram = d;
+                tech.node = c.node;
+                tech.dram = c.dram;
                 DseResult r = optimizeAllocation(
                     tech,
                     [&](const Device &dev) {
                         return trainTime(dev, net);
                     },
                     dse);
-                out.cell(r.objective, 3);
-            }
+                return r.objective;
+            });
+
+        size_t idx = 0;
+        for (const LogicNode &node : logicNodes()) {
+            out.beginRow().cell(node.name);
+            for (size_t d = 0;
+                 d < dram::trainingSweep().size(); ++d)
+                out.cell(objectives[idx++], 3);
             out.endRow();
         }
 

@@ -48,12 +48,22 @@ main()
     for (int tp : {2, 8}) {
         Table out({"DRAM", "Network", "latency (ms)", "decode mem "
                    "(ms)", "decode comm (ms)", "comm/mem"});
-        for (const DramTech &d : dram::inferenceSweep()) {
-            Device dev = presets::withDram(a100, d.name, d.bandwidth,
-                                           d.capacity);
-            InferenceReport rep = run(dev, presets::nvlink3(), tp);
+        // The DRAM sweep points are independent: evaluate them
+        // through the exec layer (OPTIMUS_THREADS wide, default
+        // serial) and print from the slot-ordered results.
+        const std::vector<DramTech> sweep = dram::inferenceSweep();
+        std::vector<InferenceReport> reports = exec::parallelMap(
+            static_cast<long long>(sweep.size()), resolveThreads(),
+            [&](long long i) {
+                const DramTech &d = sweep[static_cast<size_t>(i)];
+                Device dev = presets::withDram(
+                    a100, d.name, d.bandwidth, d.capacity);
+                return run(dev, presets::nvlink3(), tp);
+            });
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            const InferenceReport &rep = reports[i];
             out.beginRow()
-                .cell(d.name)
+                .cell(sweep[i].name)
                 .cell("NV3")
                 .cell(rep.totalLatency * 1e3, 1)
                 .cell(rep.decode.memoryTime * 1e3, 1)

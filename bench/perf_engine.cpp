@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -185,6 +186,188 @@ writeTraceOverheadReport()
               << " ms/eval -> BENCH_trace_overhead.json\n";
 }
 
+/**
+ * Serial-vs-parallel A/B of the two sweep-shaped engines (planner
+ * enumeration and DSE search) plus a tile-cache on/off A/B, written
+ * as BENCH_sweep_speedup.json. The acceptance gates: results must be
+ * bit-identical across thread counts (divergences == 0), and on a
+ * multi-core host the 8-thread sweep must not be slower than serial.
+ */
+void
+writeSweepSpeedupReport()
+{
+    using clock = std::chrono::steady_clock;
+    const int kThreads = 8;
+
+    TransformerConfig model = models::gpt175b();
+    System sys = presets::dgxA100(16);
+    TrainingPlannerOptions popts;
+    popts.keep = 64;
+    popts.microbatchSizes = {1, 2};
+
+    auto time_best_of = [&](int reps, const auto &fn) {
+        double best = 1e300;
+        for (int i = 0; i < reps; ++i) {
+            clock::time_point t0 = clock::now();
+            fn();
+            double ms = std::chrono::duration<double, std::milli>(
+                            clock::now() - t0)
+                            .count();
+            best = std::min(best, ms);
+        }
+        return best;
+    };
+
+    // Cold sweep with a cleared cache: measures the sweep's intrinsic
+    // key reuse (hit rate) rather than leftovers from the
+    // micro-benchmarks above.
+    tileCacheClear();
+    popts.threads = 1;
+    std::vector<TrainingPlan> serial_plans =
+        planTraining(model, sys, 128, popts);
+    TileCacheStats cache = tileCacheStats();
+
+    // Warm-cache timings: serial, parallel, and cache-disabled.
+    double planner_serial_ms = time_best_of(3, [&] {
+        popts.threads = 1;
+        benchmark::DoNotOptimize(planTraining(model, sys, 128, popts));
+    });
+    std::vector<TrainingPlan> parallel_plans;
+    double planner_parallel_ms = time_best_of(3, [&] {
+        popts.threads = kThreads;
+        parallel_plans = planTraining(model, sys, 128, popts);
+    });
+    tileCacheSetEnabled(false);
+    double planner_uncached_ms = time_best_of(3, [&] {
+        popts.threads = 1;
+        benchmark::DoNotOptimize(planTraining(model, sys, 128, popts));
+    });
+    tileCacheSetEnabled(true);
+
+    long long planner_divergences = 0;
+    if (serial_plans.size() != parallel_plans.size()) {
+        planner_divergences =
+            static_cast<long long>(serial_plans.size()) -
+            static_cast<long long>(parallel_plans.size());
+        if (planner_divergences < 0)
+            planner_divergences = -planner_divergences;
+    } else {
+        for (size_t i = 0; i < serial_plans.size(); ++i) {
+            const TrainingPlan &a = serial_plans[i];
+            const TrainingPlan &b = parallel_plans[i];
+            bool same =
+                a.parallel.dataParallel == b.parallel.dataParallel &&
+                a.parallel.tensorParallel ==
+                    b.parallel.tensorParallel &&
+                a.parallel.pipelineParallel ==
+                    b.parallel.pipelineParallel &&
+                a.parallel.microbatchSize ==
+                    b.parallel.microbatchSize &&
+                a.options.recompute == b.options.recompute &&
+                a.options.memory.zeroStage ==
+                    b.options.memory.zeroStage &&
+                a.report.timePerBatch == b.report.timePerBatch &&
+                a.report.mfu == b.report.mfu &&
+                a.report.memory.total() == b.report.memory.total();
+            if (!same)
+                ++planner_divergences;
+        }
+    }
+
+    // DSE A/B: a training-shaped objective heavy enough that the
+    // fan-out has real work per probe.
+    TechConfig tech;
+    tech.node = logicNode("N5");
+    tech.dram = dram::hbm3_26();
+    TransformerConfig dse_model = models::gpt7b();
+    ParallelConfig dse_par;
+    dse_par.dataParallel = 4;
+    dse_par.tensorParallel = 4;
+    dse_par.pipelineParallel = 2;
+    dse_par.sequenceParallel = true;
+    TrainingOptions dse_topts;
+    dse_topts.recompute = Recompute::Selective;
+    DeviceObjective dse_objective = [&](const Device &dev) {
+        System s = makeSystem(dev, 8, 4, presets::nvlink4(),
+                              nettech::gdrX8());
+        return evaluateTraining(dse_model, s, dse_par, 128,
+                                dse_topts)
+            .timePerBatch;
+    };
+    DseOptions dopts;
+    dopts.gridSteps = 4;
+    dopts.refineRounds = 12;
+
+    dopts.threads = 1;
+    DseResult dse_serial =
+        optimizeAllocation(tech, dse_objective, dopts);
+    double dse_serial_ms = time_best_of(2, [&] {
+        dopts.threads = 1;
+        benchmark::DoNotOptimize(
+            optimizeAllocation(tech, dse_objective, dopts));
+    });
+    DseResult dse_parallel;
+    double dse_parallel_ms = time_best_of(2, [&] {
+        dopts.threads = kThreads;
+        dse_parallel = optimizeAllocation(tech, dse_objective, dopts);
+    });
+    long long dse_divergences = 0;
+    if (dse_serial.allocation.computeAreaFraction !=
+            dse_parallel.allocation.computeAreaFraction ||
+        dse_serial.allocation.computePowerFraction !=
+            dse_parallel.allocation.computePowerFraction ||
+        dse_serial.objective != dse_parallel.objective ||
+        dse_serial.evaluations != dse_parallel.evaluations)
+        dse_divergences = 1;
+
+    JsonValue out = JsonValue::object();
+    out.set("benchmark", JsonValue::string("sweep_speedup"));
+    out.set("hardware_concurrency",
+            JsonValue::number(double(hardwareThreads())));
+    out.set("threads_parallel", JsonValue::number(double(kThreads)));
+    out.set("planner_workload", JsonValue::string(
+                                    "planTraining gpt-175b dgx-a100 "
+                                    "x16, batch 128, micro {1,2}"));
+    out.set("planner_serial_ms", JsonValue::number(planner_serial_ms));
+    out.set("planner_parallel_ms",
+            JsonValue::number(planner_parallel_ms));
+    out.set("planner_speedup",
+            JsonValue::number(planner_serial_ms / planner_parallel_ms));
+    out.set("planner_uncached_ms",
+            JsonValue::number(planner_uncached_ms));
+    out.set("tile_cache_speedup",
+            JsonValue::number(planner_uncached_ms / planner_serial_ms));
+    out.set("planner_plans",
+            JsonValue::number(double(serial_plans.size())));
+    out.set("planner_divergences",
+            JsonValue::number(double(planner_divergences)));
+    out.set("dse_workload", JsonValue::string(
+                                "optimizeAllocation N5+HBM3, gpt-7b "
+                                "training objective, grid 4, rounds "
+                                "12"));
+    out.set("dse_serial_ms", JsonValue::number(dse_serial_ms));
+    out.set("dse_parallel_ms", JsonValue::number(dse_parallel_ms));
+    out.set("dse_speedup",
+            JsonValue::number(dse_serial_ms / dse_parallel_ms));
+    out.set("dse_divergences",
+            JsonValue::number(double(dse_divergences)));
+    out.set("tile_cache_hits", JsonValue::number(double(cache.hits)));
+    out.set("tile_cache_misses",
+            JsonValue::number(double(cache.misses)));
+    out.set("tile_cache_hit_rate_pct",
+            JsonValue::number(100.0 * cache.hitRate()));
+
+    std::ofstream f("BENCH_sweep_speedup.json");
+    f << out.dump(2) << "\n";
+    std::cout << "sweep speedup: planner " << planner_serial_ms
+              << " ms serial / " << planner_parallel_ms << " ms at "
+              << kThreads << " threads ("
+              << planner_divergences + dse_divergences
+              << " divergences), tile cache "
+              << 100.0 * cache.hitRate()
+              << "% hits -> BENCH_sweep_speedup.json\n";
+}
+
 } // namespace
 
 int
@@ -196,5 +379,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     writeTraceOverheadReport();
+    writeSweepSpeedupReport();
     return 0;
 }

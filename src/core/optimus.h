@@ -12,6 +12,7 @@
 #include "core/sensitivity.h"
 #include "dse/search.h"
 #include "energy/energy.h"
+#include "exec/exec.h"
 #include "hw/device.h"
 #include "hw/network.h"
 #include "hw/precision.h"

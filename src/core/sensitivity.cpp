@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.h"
 #include "util/error.h"
 
 namespace optimus {
@@ -71,25 +72,33 @@ scaleResource(const System &sys, Resource r, double factor)
 std::vector<Sensitivity>
 analyzeSensitivity(const System &sys,
                    const std::function<double(const System &)> &
-                       objective)
+                       objective,
+                   int threads)
 {
     checkConfig(static_cast<bool>(objective),
                 "sensitivity analysis needs an objective");
     const double base = objective(sys);
     checkPositive(base, "baseline objective");
 
+    // Each resource's bump/double probe pair is independent of the
+    // others, so the six resources fan out through the exec layer;
+    // results land slot-ordered, making the analysis bit-identical at
+    // any thread count.
     const double bump = 1.25;
-    std::vector<Sensitivity> out;
-    for (Resource r : allResources()) {
-        Sensitivity s;
-        s.resource = r;
-        double bumped = objective(scaleResource(sys, r, bump));
-        // Elasticity via log ratio: symmetric in the bump size.
-        s.elasticity = std::log(bumped / base) / std::log(bump);
-        double doubled = objective(scaleResource(sys, r, 2.0));
-        s.speedupFrom2x = base / doubled;
-        out.push_back(s);
-    }
+    const std::vector<Resource> &resources = allResources();
+    std::vector<Sensitivity> out = exec::parallelMap(
+        static_cast<long long>(resources.size()), threads,
+        [&](long long i) {
+            Resource r = resources[static_cast<size_t>(i)];
+            Sensitivity s;
+            s.resource = r;
+            double bumped = objective(scaleResource(sys, r, bump));
+            // Elasticity via log ratio: symmetric in the bump size.
+            s.elasticity = std::log(bumped / base) / std::log(bump);
+            double doubled = objective(scaleResource(sys, r, 2.0));
+            s.speedupFrom2x = base / doubled;
+            return s;
+        });
     std::sort(out.begin(), out.end(),
               [](const Sensitivity &a, const Sensitivity &b) {
                   return a.elasticity < b.elasticity;

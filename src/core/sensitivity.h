@@ -59,11 +59,16 @@ struct Sensitivity
 
 /**
  * Evaluate the elasticity of @p objective (a time, in seconds, as a
- * function of the system) for every resource.
+ * function of the system) for every resource. The per-resource
+ * probes are independent and fan out over @p threads workers
+ * (exec/exec.h semantics: > 0 as given, 0 defers to OPTIMUS_THREADS,
+ * default 1); results are bit-identical at every thread count. The
+ * objective must be thread-safe — the built-in evaluators are.
  */
 std::vector<Sensitivity> analyzeSensitivity(
     const System &sys,
-    const std::function<double(const System &)> &objective);
+    const std::function<double(const System &)> &objective,
+    int threads = 0);
 
 /** Render sensitivities as a table, most-binding resource first. */
 Table sensitivityTable(const std::vector<Sensitivity> &s);

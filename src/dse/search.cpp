@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "exec/exec.h"
 #include "lint/lint.h"
 #include "trace/trace.h"
 #include "util/error.h"
@@ -35,19 +37,48 @@ optimizeAllocation(const TechConfig &tech,
     TraceSession *tr = opts.trace;
     const bool tron = tracing(tr);
 
-    auto evaluate = [&](const UArchAllocation &alloc) {
+    struct Eval
+    {
+        double value = std::numeric_limits<double>::infinity();
+        bool pruned = false;
+    };
+
+    // Pure single-candidate evaluation: no shared state, safe to fan
+    // out. A candidate that fails structural lint scores infinitely
+    // bad instead of throwing mid-search.
+    auto evaluateOne = [&](const UArchAllocation &alloc) {
+        Eval e;
         Device dev = buildDevice(tech, alloc, cal);
-        ++evals;
-        if (tron)
-            tr->counterAdd("dse/evaluations");
-        // Cheap legality pre-filter: a candidate that fails structural
-        // lint scores infinitely bad instead of throwing mid-search.
         if (!lint::isLegalDevice(dev)) {
-            if (tron)
-                tr->counterAdd("dse/pruned");
-            return std::numeric_limits<double>::infinity();
+            e.pruned = true;
+            return e;
         }
-        return objective(dev);
+        e.value = objective(dev);
+        return e;
+    };
+
+    // Evaluate a batch of candidates through the exec layer; results
+    // come back slot-ordered so every downstream reduction is
+    // independent of the thread count. Counters are batched: totals
+    // stay exact, only the sample granularity coarsens.
+    auto evaluateBatch = [&](const std::vector<UArchAllocation> &
+                                 batch) {
+        std::vector<Eval> out = exec::parallelMap(
+            static_cast<long long>(batch.size()), opts.threads,
+            [&](long long i) {
+                return evaluateOne(batch[static_cast<size_t>(i)]);
+            });
+        evals += static_cast<int>(batch.size());
+        if (tron) {
+            tr->counterAdd("dse/evaluations",
+                           double(batch.size()));
+            long long pruned = 0;
+            for (const Eval &e : out)
+                pruned += e.pruned ? 1 : 0;
+            if (pruned > 0)
+                tr->counterAdd("dse/pruned", double(pruned));
+        }
+        return out;
     };
 
     auto progress = [&](int round, double value, double step) {
@@ -70,7 +101,11 @@ optimizeAllocation(const TechConfig &tech,
         }
     };
 
-    // Coarse multi-start grid.
+    // Coarse multi-start grid, evaluated as one batch and reduced in
+    // (i, j) loop order — identical winner to the serial scan.
+    std::vector<UArchAllocation> grid;
+    grid.reserve(static_cast<size_t>(opts.gridSteps) *
+                 static_cast<size_t>(opts.gridSteps));
     for (int i = 1; i <= opts.gridSteps; ++i) {
         for (int j = 1; j <= opts.gridSteps; ++j) {
             UArchAllocation a;
@@ -78,29 +113,44 @@ optimizeAllocation(const TechConfig &tech,
                 double(i) / (opts.gridSteps + 1), opts);
             a.computePowerFraction = clampFraction(
                 double(j) / (opts.gridSteps + 1), opts);
-            consider(a, evaluate(a));
+            grid.push_back(a);
         }
     }
+    std::vector<Eval> grid_vals = evaluateBatch(grid);
+    for (size_t g = 0; g < grid.size(); ++g)
+        consider(grid[g], grid_vals[g].value);
     progress(-1, best.objective, opts.initialStep);
 
-    // Coordinate descent with step halving from the best grid point.
+    // Compass-style coordinate descent with step halving from the
+    // best grid point: each round probes +/-step on both axes *from
+    // the same base point* (the four probes are independent, so they
+    // fan out), then moves to the best strictly-improving probe.
+    // Probes are reduced in axis-major, +/- order, so the chosen move
+    // — and therefore the whole descent — is deterministic at every
+    // thread count.
     UArchAllocation current = best.allocation;
     double value = best.objective;
     double step = opts.initialStep;
     for (int round = 0; round < opts.refineRounds; ++round) {
-        bool improved = false;
+        std::vector<UArchAllocation> probes;
+        probes.reserve(4);
         for (int axis = 0; axis < 2; ++axis) {
             for (double dir : {+1.0, -1.0}) {
                 UArchAllocation trial = current;
-                double &frac = (axis == 0) ? trial.computeAreaFraction
-                                           : trial.computePowerFraction;
+                double &frac = (axis == 0)
+                                   ? trial.computeAreaFraction
+                                   : trial.computePowerFraction;
                 frac = clampFraction(frac + dir * step, opts);
-                double trial_value = evaluate(trial);
-                if (trial_value < value) {
-                    current = trial;
-                    value = trial_value;
-                    improved = true;
-                }
+                probes.push_back(trial);
+            }
+        }
+        std::vector<Eval> probe_vals = evaluateBatch(probes);
+        bool improved = false;
+        for (size_t p = 0; p < probes.size(); ++p) {
+            if (probe_vals[p].value < value) {
+                current = probes[p];
+                value = probe_vals[p].value;
+                improved = true;
             }
         }
         consider(current, value);

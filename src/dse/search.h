@@ -5,10 +5,15 @@
  * minimizes a workload's predicted execution time at a given
  * technology corner.
  *
- * The search is a multi-start coordinate descent with step halving —
- * the derivative-free analogue of the paper's gradient-descent search
- * over an objective that is piecewise smooth (roofline maxima make it
- * non-differentiable at bound transitions).
+ * The search is a multi-start compass (pattern) search with step
+ * halving — the derivative-free analogue of the paper's
+ * gradient-descent search over an objective that is piecewise smooth
+ * (roofline maxima make it non-differentiable at bound transitions).
+ * Each refinement round probes +/-step on both axes from the same
+ * base point and takes the best improving probe; because the probes
+ * are independent they are evaluated in parallel through the exec
+ * layer, and the reduction order is fixed, so the search result is
+ * bit-identical at every thread count.
  */
 
 #ifndef OPTIMUS_DSE_SEARCH_H
@@ -42,6 +47,17 @@ struct DseOptions
     double initialStep = 0.12;
     double minFraction = 0.05;
     double maxFraction = 0.95;
+
+    /**
+     * Worker threads for candidate evaluation (exec/exec.h): the
+     * coarse grid and the four axis probes of each refinement round
+     * fan out; rounds themselves stay serial. > 0 is used as given,
+     * 0 defers to OPTIMUS_THREADS (default 1). The search is
+     * deterministic: results are identical at every thread count.
+     * The objective must be thread-safe (the built-in evaluators
+     * are).
+     */
+    int threads = 0;
 
     /**
      * Optional trace sink: counts objective evaluations

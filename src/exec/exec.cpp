@@ -1,0 +1,102 @@
+#include "exec/exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace optimus {
+
+int
+resolveThreads(int requested)
+{
+    // A hard ceiling keeps a typo'd request from spawning an absurd
+    // worker count; real machines top out far below this.
+    constexpr int kMaxThreads = 1024;
+    if (requested > 0)
+        return std::min(requested, kMaxThreads);
+    const char *env = std::getenv("OPTIMUS_THREADS");
+    if (env != nullptr) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<int>(
+                std::min<long>(v, kMaxThreads));
+    }
+    return 1;
+}
+
+int
+hardwareThreads()
+{
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+namespace exec {
+
+void
+parallelFor(long long n, int threads,
+            const std::function<void(long long)> &fn)
+{
+    if (n <= 0)
+        return;
+    threads = resolveThreads(threads);
+    const long long workers = std::min<long long>(threads, n);
+    if (workers <= 1) {
+        // The historical serial code path, byte for byte: no worker
+        // threads, no atomics, exceptions propagate directly.
+        for (long long i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Workers self-schedule contiguous blocks off a shared cursor.
+    // Block size trades scheduling overhead against load balance;
+    // results are written by slot so the carve-up never shows up in
+    // the output.
+    const long long block = std::max<long long>(1, n / (workers * 4));
+    std::atomic<long long> next{0};
+    std::mutex err_mu;
+    long long err_index = -1;
+    std::exception_ptr err;
+
+    auto work = [&]() {
+        for (;;) {
+            long long begin =
+                next.fetch_add(block, std::memory_order_relaxed);
+            if (begin >= n)
+                return;
+            long long end = std::min(begin + block, n);
+            for (long long i = begin; i < end; ++i) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(err_mu);
+                    if (err_index < 0 || i < err_index) {
+                        err_index = i;
+                        err = std::current_exception();
+                    }
+                    return;
+                }
+            }
+        }
+    };
+
+    {
+        std::vector<std::jthread> pool;
+        pool.reserve(static_cast<size_t>(workers - 1));
+        for (long long w = 1; w < workers; ++w)
+            pool.emplace_back(work);
+        work(); // the calling thread participates
+    }       // jthreads join here
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace exec
+
+} // namespace optimus

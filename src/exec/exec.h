@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic parallel execution layer for sweep-shaped work.
+ *
+ * Every headline result of the paper (the Fig. 5-9 sweeps, the
+ * planner's DP/TP/PP enumeration, the N12->N1 DSE grid) evaluates
+ * thousands of independent (model, system, mapping) candidates. This
+ * module provides the substrate those loops share: a work-stealing-
+ * free `parallelFor`/`parallelMap` over `std::jthread` workers that
+ * self-schedule chunked index blocks and write results *by slot*, so
+ * the output vector is bit-identical to a serial run at any thread
+ * count.
+ *
+ * Determinism contract: when `fn` is a pure function of its index,
+ * `parallelMap(n, t, fn)` returns the same bytes for every t. Nothing
+ * about scheduling leaks into results; only wall-clock changes.
+ *
+ * Thread-count resolution is uniform across the library: an explicit
+ * request wins, otherwise the `OPTIMUS_THREADS` environment variable,
+ * otherwise 1 — so the default build reproduces the historical serial
+ * code path exactly.
+ */
+
+#ifndef OPTIMUS_EXEC_EXEC_H
+#define OPTIMUS_EXEC_EXEC_H
+
+#include <functional>
+#include <vector>
+
+namespace optimus {
+
+/**
+ * Resolve a thread-count request: @p requested > 0 is honored as
+ * given; otherwise the OPTIMUS_THREADS environment variable (when set
+ * to a positive integer) decides; otherwise 1.
+ */
+int resolveThreads(int requested = 0);
+
+/** std::thread::hardware_concurrency with a floor of 1. */
+int hardwareThreads();
+
+namespace exec {
+
+/**
+ * Run fn(0..n-1), fanning out over @p threads workers (resolved via
+ * resolveThreads). Workers claim contiguous index blocks from a
+ * shared cursor; there is no work stealing. With threads <= 1 this is
+ * a plain serial loop. An exception thrown by @p fn stops the
+ * throwing worker, the remaining indices still run, and the exception
+ * recorded at the lowest index is rethrown after the join.
+ */
+void parallelFor(long long n, int threads,
+                 const std::function<void(long long)> &fn);
+
+/**
+ * Map fn over 0..n-1 into a slot-ordered vector: out[i] = fn(i).
+ * Output order (and content, for pure fn) is bit-identical to the
+ * serial loop at every thread count. T must be default-constructible.
+ */
+template <typename Fn>
+auto
+parallelMap(long long n, int threads, Fn &&fn)
+    -> std::vector<decltype(fn(static_cast<long long>(0)))>
+{
+    using T = decltype(fn(static_cast<long long>(0)));
+    std::vector<T> out(static_cast<size_t>(n < 0 ? 0 : n));
+    parallelFor(n, threads, [&](long long i) {
+        out[static_cast<size_t>(i)] = fn(i);
+    });
+    return out;
+}
+
+} // namespace exec
+
+} // namespace optimus
+
+#endif // OPTIMUS_EXEC_EXEC_H

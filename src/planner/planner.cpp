@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/exec.h"
 #include "lint/lint.h"
 #include "memory/footprint.h"
 #include "trace/trace.h"
@@ -32,9 +33,26 @@ planTraining(const TransformerConfig &model, const System &sys,
     checkConfig(!opts.microbatchSizes.empty(),
                 "planner needs at least one microbatch size");
 
-    std::vector<TrainingPlan> plans;
     TraceSession *tr = opts.trace;
     const bool tron = tracing(tr);
+
+    // Phase 1 (serial, cheap): enumerate the full candidate space,
+    // pruning by lint and memory. The loop-invariant option fields
+    // are built once, outside the recompute/zero loops.
+    TrainingOptions base;
+    base.precision = opts.precision;
+    base.seqLength = opts.seqLength;
+    base.flashAttention = opts.flashAttention;
+    base.memory.flashAttention = opts.flashAttention;
+    base.memory.activationBytes =
+        std::max(1.0, precisionBytes(opts.precision));
+
+    struct Candidate
+    {
+        ParallelConfig parallel;
+        TrainingOptions options;
+    };
+    std::vector<Candidate> candidates;
 
     for (long long tp = 1; tp <= sys.devicesPerNode; tp *= 2) {
         for (long long pp = 1;
@@ -78,19 +96,10 @@ planTraining(const TransformerConfig &model, const System &sys,
                     }
 
                     for (Recompute r : opts.recomputeChoices) {
+                        TrainingOptions topts = base;
+                        topts.recompute = r;
                         for (int zero : opts.zeroStages) {
-                            TrainingOptions topts;
-                            topts.precision = opts.precision;
-                            topts.seqLength = opts.seqLength;
-                            topts.recompute = r;
-                            topts.flashAttention =
-                                opts.flashAttention;
-                            topts.memory.flashAttention =
-                                opts.flashAttention;
                             topts.memory.zeroStage = zero;
-                            topts.memory.activationBytes = std::max(
-                                1.0,
-                                precisionBytes(opts.precision));
 
                             TrainingMemory mem =
                                 trainingMemoryPerDevice(
@@ -106,20 +115,33 @@ planTraining(const TransformerConfig &model, const System &sys,
                             if (tron)
                                 tr->counterAdd(
                                     "planner/plans-evaluated");
-
-                            TrainingPlan plan;
-                            plan.parallel = par;
-                            plan.options = topts;
-                            plan.report = evaluateTraining(
-                                model, sys, par, global_batch,
-                                topts);
-                            plans.push_back(std::move(plan));
+                            candidates.push_back(
+                                Candidate{par, topts});
                         }
                     }
                 }
             }
         }
     }
+
+    // Phase 2: evaluate every surviving candidate. Evaluations are
+    // independent pure functions, fanned out through the exec layer
+    // and written by slot — the plans vector is bit-identical to a
+    // serial run at any thread count (and sized from the candidate
+    // count up front).
+    std::vector<TrainingPlan> plans =
+        exec::parallelMap(
+            static_cast<long long>(candidates.size()), opts.threads,
+            [&](long long i) {
+                const Candidate &c =
+                    candidates[static_cast<size_t>(i)];
+                TrainingPlan plan;
+                plan.parallel = c.parallel;
+                plan.options = c.options;
+                plan.report = evaluateTraining(
+                    model, sys, c.parallel, global_batch, c.options);
+                return plan;
+            });
 
     std::sort(plans.begin(), plans.end(),
               [](const TrainingPlan &a, const TrainingPlan &b) {

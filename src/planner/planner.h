@@ -37,6 +37,14 @@ struct TrainingPlannerOptions
     size_t keep = 10;
 
     /**
+     * Worker threads for candidate evaluation (exec/exec.h): > 0 is
+     * used as given, 0 defers to the OPTIMUS_THREADS environment
+     * variable (default 1). Results are bit-identical at every
+     * thread count.
+     */
+    int threads = 0;
+
+    /**
      * Optional trace sink: counts candidate mappings enumerated
      * ("planner/mappings-enumerated"), mappings discarded by lint
      * ("planner/pruned-illegal") or memory ("planner/pruned-memory"),

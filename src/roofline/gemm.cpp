@@ -1,8 +1,14 @@
 #include "roofline/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "util/error.h"
@@ -42,15 +48,70 @@ tileCandidates(long long dim)
     return out;
 }
 
-/** Traffic (bytes) to the outer level for a given tile choice. */
+/**
+ * Traffic (bytes) to the outer level for a given tile choice. When
+ * tk < k the reduction is split into ceil(k/tk) chunks and the output
+ * tile is read and written once per chunk, so the C term scales with
+ * the chunk count — the single source of truth for both the search
+ * and the streaming fallback.
+ */
 double
-tileTraffic(const GemmShape &s, long long tm, long long tn, double elem)
+tileTraffic(const GemmShape &s, long long tm, long long tn,
+            long long tk, double elem)
 {
     double a_reads = double(s.m) * double(s.k) * ceilDiv(double(s.n), double(tn));
     double b_reads = double(s.k) * double(s.n) * ceilDiv(double(s.m), double(tm));
-    double c_rw = 2.0 * double(s.m) * double(s.n);
+    double c_rw = 2.0 * double(s.m) * double(s.n) *
+                  ceilDiv(double(s.k), double(tk));
     return elem * (a_reads + b_reads + c_rw);
 }
+
+// ---- Tile-search memo cache -----------------------------------------
+//
+// Sweeps (planner enumeration, DSE grids, figure drivers) re-run
+// searchTile for identical keys thousands of times; the O(tiles^2)
+// candidate scan is the engine's hottest loop. The cache is process-
+// wide, shared-read (std::shared_mutex), and safe under the exec
+// layer's concurrency. searchTile is a pure function of the key, so
+// caching can never change results.
+
+struct TileKey
+{
+    long long m = 0;
+    long long n = 0;
+    long long k = 0;
+    int precision = 0;
+    std::uint64_t capacityBits = 0; ///< exact double, bit pattern
+    std::uint64_t fillBits = 0;
+    bool operator==(const TileKey &) const = default;
+};
+
+struct TileKeyHash
+{
+    size_t operator()(const TileKey &key) const
+    {
+        // FNV-1a over the key's words: cheap and well-mixed for the
+        // handful of distinct shapes a sweep produces.
+        std::uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        mix(static_cast<std::uint64_t>(key.m));
+        mix(static_cast<std::uint64_t>(key.n));
+        mix(static_cast<std::uint64_t>(key.k));
+        mix(static_cast<std::uint64_t>(key.precision));
+        mix(key.capacityBits);
+        mix(key.fillBits);
+        return static_cast<size_t>(h);
+    }
+};
+
+std::shared_mutex tile_cache_mu;
+std::unordered_map<TileKey, TileChoice, TileKeyHash> tile_cache;
+std::atomic<unsigned long long> tile_cache_hits{0};
+std::atomic<unsigned long long> tile_cache_misses{0};
+std::atomic<bool> tile_cache_on{true};
 
 } // namespace
 
@@ -64,6 +125,38 @@ shapeEfficiency(const GemmShape &shape)
     return ideal / padded;
 }
 
+TileCacheStats
+tileCacheStats()
+{
+    TileCacheStats s;
+    s.hits = tile_cache_hits.load(std::memory_order_relaxed);
+    s.misses = tile_cache_misses.load(std::memory_order_relaxed);
+    std::shared_lock lock(tile_cache_mu);
+    s.entries = tile_cache.size();
+    return s;
+}
+
+void
+tileCacheClear()
+{
+    std::unique_lock lock(tile_cache_mu);
+    tile_cache.clear();
+    tile_cache_hits.store(0, std::memory_order_relaxed);
+    tile_cache_misses.store(0, std::memory_order_relaxed);
+}
+
+void
+tileCacheSetEnabled(bool on)
+{
+    tile_cache_on.store(on, std::memory_order_relaxed);
+}
+
+bool
+tileCacheEnabled()
+{
+    return tile_cache_on.load(std::memory_order_relaxed);
+}
+
 TileChoice
 searchTile(const GemmShape &shape, double capacity_bytes,
            double fill_factor)
@@ -72,6 +165,21 @@ searchTile(const GemmShape &shape, double capacity_bytes,
     checkPositive(shape.n, "gemm n");
     checkPositive(shape.k, "gemm k");
     checkPositive(capacity_bytes, "tile search capacity");
+
+    const bool use_cache =
+        tile_cache_on.load(std::memory_order_relaxed);
+    TileKey key{shape.m, shape.n, shape.k,
+                static_cast<int>(shape.precision),
+                std::bit_cast<std::uint64_t>(capacity_bytes),
+                std::bit_cast<std::uint64_t>(fill_factor)};
+    if (use_cache) {
+        std::shared_lock lock(tile_cache_mu);
+        auto it = tile_cache.find(key);
+        if (it != tile_cache.end()) {
+            tile_cache_hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
 
     const double elem = precisionBytes(shape.precision);
     const double budget = capacity_bytes * fill_factor / elem;
@@ -90,7 +198,7 @@ searchTile(const GemmShape &shape, double capacity_bytes,
             if (tk < 1)
                 continue;
             tk = std::min(tk, shape.k);
-            double traffic = tileTraffic(shape, tm, tn, elem);
+            double traffic = tileTraffic(shape, tm, tn, tk, elem);
             if (traffic < best.traffic) {
                 best = {tm, tn, tk, traffic};
             }
@@ -99,13 +207,19 @@ searchTile(const GemmShape &shape, double capacity_bytes,
 
     if (!std::isfinite(best.traffic)) {
         // Cache too small for even the minimal tile: every operand
-        // byte streams through without reuse.
+        // byte streams through without reuse, and the 1-element
+        // output chunk is revisited once per k step (same formula as
+        // the search, at the degenerate 1x1x1 tile).
         best.tm = 1;
         best.tn = 1;
         best.tk = 1;
-        best.traffic = elem * (double(shape.m) * shape.k * shape.n +
-                               double(shape.k) * shape.n * shape.m +
-                               2.0 * double(shape.m) * shape.n);
+        best.traffic = tileTraffic(shape, 1, 1, 1, elem);
+    }
+
+    if (use_cache) {
+        tile_cache_misses.fetch_add(1, std::memory_order_relaxed);
+        std::unique_lock lock(tile_cache_mu);
+        tile_cache.emplace(key, best);
     }
     return best;
 }

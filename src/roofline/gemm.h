@@ -63,12 +63,48 @@ struct TileChoice
  * buffering) and that minimizes traffic to the outer memory level.
  *
  * Traffic model for C = A*B with tiles (tm, tn, tk):
- *   bytes = elem * (m*k*ceil(n/tn) + k*n*ceil(m/tm) + 2*m*n)
+ *   bytes = elem * (m*k*ceil(n/tn) + k*n*ceil(m/tm)
+ *                   + 2*m*n*ceil(k/tk))
  * i.e. A is re-read once per column block, B once per row block, and
- * C is read+written once.
+ * the C tile is read+written once per k chunk (once total when the
+ * whole reduction fits, tk = k).
+ *
+ * Results are memoized in a process-wide, thread-safe cache keyed by
+ * (m, n, k, precision, capacity, fill_factor); searchTile is a pure
+ * function of that key, so the cache never changes results. See
+ * tileCacheStats() / tileCacheClear().
  */
 TileChoice searchTile(const GemmShape &shape, double capacity_bytes,
                       double fill_factor = 0.5);
+
+/** Aggregate statistics of the process-wide tile-search memo cache. */
+struct TileCacheStats
+{
+    unsigned long long hits = 0;
+    unsigned long long misses = 0;
+    size_t entries = 0;
+
+    /** Hit fraction in [0, 1]; 0 when the cache was never queried. */
+    double hitRate() const
+    {
+        unsigned long long total = hits + misses;
+        return total == 0 ? 0.0 : double(hits) / double(total);
+    }
+};
+
+/** Snapshot of the tile-cache counters (thread-safe). */
+TileCacheStats tileCacheStats();
+
+/** Drop every cached tile and zero the hit/miss counters. */
+void tileCacheClear();
+
+/**
+ * Globally enable/disable the memo cache (default on). Disabling
+ * bypasses lookup, insertion and the counters — used by benchmarks to
+ * A/B the cache itself.
+ */
+void tileCacheSetEnabled(bool on);
+bool tileCacheEnabled();
 
 /**
  * Estimate a GEMM on @p dev.

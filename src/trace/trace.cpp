@@ -4,11 +4,35 @@
 
 namespace optimus {
 
-int
-TraceSession::lane(const std::string &name)
+TraceSession::TraceSession(TraceSession &&other) noexcept
 {
-    if (!enabled_)
-        return 0;
+    std::lock_guard<std::mutex> lock(other.mu_);
+    enabled_ = other.enabled_;
+    lanes_ = std::move(other.lanes_);
+    spans_ = std::move(other.spans_);
+    samples_ = std::move(other.samples_);
+    counters_ = std::move(other.counters_);
+    laneIndex_ = std::move(other.laneIndex_);
+}
+
+TraceSession &
+TraceSession::operator=(TraceSession &&other) noexcept
+{
+    if (this != &other) {
+        std::scoped_lock lock(mu_, other.mu_);
+        enabled_ = other.enabled_;
+        lanes_ = std::move(other.lanes_);
+        spans_ = std::move(other.spans_);
+        samples_ = std::move(other.samples_);
+        counters_ = std::move(other.counters_);
+        laneIndex_ = std::move(other.laneIndex_);
+    }
+    return *this;
+}
+
+int
+TraceSession::laneLocked(const std::string &name)
+{
     auto it = laneIndex_.find(name);
     if (it != laneIndex_.end())
         return it->second;
@@ -18,13 +42,23 @@ TraceSession::lane(const std::string &name)
     return id;
 }
 
+int
+TraceSession::lane(const std::string &name)
+{
+    if (!enabled_)
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    return laneLocked(name);
+}
+
 double
 TraceSession::emit(int lane_id, TraceSpan span)
 {
     if (!enabled_)
         return 0.0;
+    std::lock_guard<std::mutex> lock(mu_);
     if (lanes_.empty())
-        lane("default");
+        laneLocked("default");
     lane_id = std::clamp(lane_id, 0,
                          static_cast<int>(lanes_.size()) - 1);
     TraceLane &l = lanes_[static_cast<size_t>(lane_id)];
@@ -51,6 +85,7 @@ TraceSession::counterAdd(const std::string &name, double delta)
 {
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     double v = counters_[name] + delta;
     counters_[name] = v;
     samples_.push_back(CounterSample{name, v});
@@ -61,6 +96,7 @@ TraceSession::counterSet(const std::string &name, double value)
 {
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     counters_[name] = value;
     samples_.push_back(CounterSample{name, value});
 }
@@ -68,6 +104,7 @@ TraceSession::counterSet(const std::string &name, double value)
 double
 TraceSession::counter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0.0 : it->second;
 }
@@ -75,6 +112,7 @@ TraceSession::counter(const std::string &name) const
 void
 TraceSession::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     spans_.clear();
     samples_.clear();
     counters_.clear();
@@ -82,9 +120,47 @@ TraceSession::reset()
         l.cursor = 0.0;
 }
 
+void
+TraceSession::absorb(TraceSession &&worker)
+{
+    if (!enabled_ || !worker.enabled_)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    // Map each worker lane to the same-named lane here, remembering
+    // this session's cursor as the splice offset (the lane boundary).
+    std::vector<int> lane_map(worker.lanes_.size(), 0);
+    std::vector<double> base(worker.lanes_.size(), 0.0);
+    for (size_t i = 0; i < worker.lanes_.size(); ++i) {
+        int id = laneLocked(worker.lanes_[i].name);
+        lane_map[i] = id;
+        base[i] = lanes_[static_cast<size_t>(id)].cursor;
+        lanes_[static_cast<size_t>(id)].cursor +=
+            worker.lanes_[i].cursor;
+    }
+    for (TraceSpan &s : worker.spans_) {
+        size_t wl = static_cast<size_t>(s.lane);
+        if (wl < lane_map.size()) {
+            s.start += base[wl];
+            s.lane = lane_map[wl];
+        }
+        spans_.push_back(std::move(s));
+    }
+    for (const auto &[name, value] : worker.counters_)
+        counters_[name] += value;
+    for (CounterSample &s : worker.samples_)
+        samples_.push_back(std::move(s));
+
+    worker.spans_.clear();
+    worker.samples_.clear();
+    worker.counters_.clear();
+    for (TraceLane &l : worker.lanes_)
+        l.cursor = 0.0;
+}
+
 std::map<std::string, double>
 TraceSession::categoryTotals() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::map<std::string, double> totals;
     for (const TraceSpan &s : spans_)
         totals[s.category] += s.duration;
@@ -94,6 +170,7 @@ TraceSession::categoryTotals() const
 double
 TraceSession::makespan() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     double end = 0.0;
     for (const TraceLane &l : lanes_)
         end = std::max(end, l.cursor);

@@ -26,6 +26,7 @@
 #define OPTIMUS_TRACE_TRACE_H
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,12 +84,28 @@ struct CounterSample
  * Construct with enabled=false for an explicit null sink that records
  * nothing (evaluators also accept a nullptr session, which costs one
  * branch per instrumented section).
+ *
+ * Thread safety: every mutating operation (lane, emit, counterAdd,
+ * counterSet, reset, absorb) and every scalar read (counter,
+ * categoryTotals, makespan) is internally synchronized, so sweeps
+ * fanned out through the exec layer may share one session — counter
+ * *totals* are deterministic across thread counts (sums commute),
+ * while the per-sample record order is scheduling-dependent at
+ * threads > 1. The reference-returning inspectors (spans, lanes,
+ * counters, counterSamples) are safe only once concurrent recording
+ * has quiesced. For parallel span recording, prefer a worker-local
+ * session per task merged via absorb() at the join point.
  */
 class TraceSession
 {
   public:
     TraceSession() = default;
     explicit TraceSession(bool enabled) : enabled_(enabled) {}
+
+    // Movable (the source must be quiescent); not copyable, since
+    // concurrent recorders hold pointers to a live session.
+    TraceSession(TraceSession &&other) noexcept;
+    TraceSession &operator=(TraceSession &&other) noexcept;
 
     bool enabled() const { return enabled_; }
 
@@ -120,6 +137,18 @@ class TraceSession
     /** Clear spans, counters, samples and lane cursors. */
     void reset();
 
+    /**
+     * Merge a worker-thread session recorded against the same logical
+     * timeline: each worker lane is appended at the current cursor of
+     * the same-named lane here (the lane boundary), counters are
+     * summed into this session's totals and the worker's sample
+     * history is appended. @p worker is left cleared. This is the
+     * join-point primitive for per-thread span buffers: workers
+     * record into private sessions with zero contention, and the
+     * coordinator absorbs them in a deterministic (slot) order.
+     */
+    void absorb(TraceSession &&worker);
+
     // ---- Inspection --------------------------------------------------
 
     const std::vector<TraceSpan> &spans() const { return spans_; }
@@ -142,7 +171,11 @@ class TraceSession
     double makespan() const;
 
   private:
+    /** lane() body; caller must hold mu_. */
+    int laneLocked(const std::string &name);
+
     bool enabled_ = true;
+    mutable std::mutex mu_;
     std::vector<TraceLane> lanes_;
     std::vector<TraceSpan> spans_;
     std::vector<CounterSample> samples_;

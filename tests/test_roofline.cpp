@@ -4,6 +4,8 @@
  * estimation, GEMV utilization models and stream kernels.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "hw/presets.h"
@@ -40,9 +42,32 @@ TEST(TileSearch, DegenerateCacheFallsBackToStreaming)
 {
     GemmShape s{128, 128, 128, Precision::FP16};
     TileChoice t = searchTile(s, 64.0, 0.5);  // absurdly small cache
-    // Streaming bound: every A and B element refetched per use.
-    double stream = 2.0 * (128.0 * 128 * 128 * 2 + 2.0 * 128 * 128);
+    // Streaming bound at the degenerate 1x1x1 tile: every A and B
+    // element refetched per use, and the single-element C chunk
+    // read+written once per k step — the same formula the search
+    // scores finite tiles with.
+    double stream = 2.0 * (128.0 * 128 * 128 * 2 +
+                           2.0 * 128 * 128 * 128);
     EXPECT_DOUBLE_EQ(t.traffic, stream);
+}
+
+TEST(TileSearch, KSplitTrafficCountsOutputRevisits)
+{
+    // A cache that cannot hold full-k tiles forces tk < k; the C
+    // term must then scale with ceil(k/tk) rather than staying at
+    // 2*m*n (the pre-fix model silently ignored k-splitting).
+    GemmShape s{4096, 4096, 4096, Precision::FP16};
+    TileChoice t = searchTile(s, 1 * MiB, 0.5);
+    ASSERT_GT(t.tk, 0);
+    ASSERT_LT(t.tk, s.k);
+    double chunks = std::ceil(double(s.k) / double(t.tk));
+    double expected =
+        2.0 * (double(s.m) * s.k *
+                   std::ceil(double(s.n) / double(t.tn)) +
+               double(s.k) * s.n *
+                   std::ceil(double(s.m) / double(t.tm)) +
+               2.0 * double(s.m) * s.n * chunks);
+    EXPECT_DOUBLE_EQ(t.traffic, expected);
 }
 
 TEST(TileSearch, TileRespectsCapacity)

@@ -290,8 +290,9 @@ cmdSensitivity(const Args &args)
         label = "training time per batch";
     }
 
-    std::vector<Sensitivity> rows =
-        analyzeSensitivity(sys, objective);
+    std::vector<Sensitivity> rows = analyzeSensitivity(
+        sys, objective,
+        static_cast<int>(args.getInt("threads", 0)));
     std::cout << model.name << " on " << sys.device.name
               << ": elasticity of " << label
               << " per resource (-1 = fully bound)\n\n";
@@ -312,6 +313,7 @@ cmdPlan(const Args &args)
     opts.precision = parsePrecision(args.get("precision", "fp16"));
     opts.flashAttention = args.has("flash-attention");
     opts.keep = static_cast<size_t>(args.getInt("top", 8));
+    opts.threads = static_cast<int>(args.getInt("threads", 0));
     if (args.has("zero"))
         opts.zeroStages = {0,
                            static_cast<int>(args.getInt("zero", 1))};
@@ -494,6 +496,22 @@ cmdTrace(const Args &args)
         what = "training time per batch";
     }
 
+    // Surface the exec/tile-cache statistics as trace counters so
+    // sweep tooling reads thread counts and hit rates straight from
+    // the export (--threads is accepted for CLI uniformity; a
+    // single-point evaluation itself runs serially).
+    TileCacheStats tstats = tileCacheStats();
+    session.counterSet("roofline/tile-cache-hits",
+                       double(tstats.hits));
+    session.counterSet("roofline/tile-cache-misses",
+                       double(tstats.misses));
+    session.counterSet("roofline/tile-cache-hit-rate",
+                       tstats.hitRate());
+    session.counterSet(
+        "exec/threads",
+        double(resolveThreads(
+            static_cast<int>(args.getInt("threads", 0)))));
+
     // The trace is a decomposition of the model: span sums per
     // category (kernel-detail spans excluded) must reproduce the
     // aggregate report.
@@ -607,6 +625,7 @@ cmdDse(const Args &args)
         static_cast<int>(args.getInt("grid", dopts.gridSteps));
     dopts.refineRounds =
         static_cast<int>(args.getInt("rounds", dopts.refineRounds));
+    dopts.threads = static_cast<int>(args.getInt("threads", 0));
 
     TraceSession session;
     dopts.trace = &session;
@@ -683,21 +702,27 @@ usage()
         "           [--generate G] [--max-batch N]\n"
         "  plan     --model M --system S --nodes N --batch B "
         "[--top K]\n"
+        "           [--threads N]\n"
         "  sensitivity --model M --system S [--mode train|infer]\n"
+        "              [--threads N]\n"
         "              bottleneck attribution per hardware resource\n"
         "  memory   --model M --dp D --tp T --pp P [--sp] "
         "[--batch B]\n"
         "  lint     <config.json> [--batch B] - static-check a config\n"
         "           without evaluating it (exit 1 on errors)\n"
         "  trace    <config.json> [--out trace.json] [--csv FILE]\n"
+        "           [--threads N]\n"
         "           record a Perfetto-loadable timeline of the "
         "modeled run\n"
         "  dse      [--mode train|infer] [--node N3|N5] [--dram D]\n"
-        "           [--area MM2] [--power W] [--verbose]\n"
+        "           [--area MM2] [--power W] [--verbose] "
+        "[--threads N]\n"
         "           optimize the compute/memory area+power split\n"
         "  presets  list built-in presets\n"
         "\n"
-        "common flags: --config FILE (JSON), --json (JSON output)\n";
+        "common flags: --config FILE (JSON), --json (JSON output),\n"
+        "  --threads N (sweep worker threads; 0 = OPTIMUS_THREADS\n"
+        "  env, default 1; results are identical at any count)\n";
     return 2;
 }
 
