@@ -94,6 +94,18 @@ main()
     double best = results.back().throughput;
     double a100 = results.front().throughput;
 
+    // Ledger entry for the regression sentinel. The per-generation
+    // predictions are deterministic regardless of OPTIMUS_THREADS, so
+    // this record diffs cleanly against baselines/fig5.json at any
+    // fan-out width.
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("fig5"));
+    bench_cfg.set("nodes", JsonValue::number(double(nodes)));
+    bench_cfg.set("configs",
+                  JsonValue::number(double(configs.size())));
+    report::RunRecord rec =
+        report::beginBenchRecord("fig5", std::move(bench_cfg));
+
     Table out({"System", "Batch", "t/batch (s)", "Compute (%)",
                "Comm (%)", "Other (%)", "Norm. time", "Speedup/A100"});
     for (const Result &r : results) {
@@ -109,10 +121,21 @@ main()
             .cell(best / r.throughput, 3)
             .cell(r.throughput / a100, 1);
         out.endRow();
+
+        rec.setMetric(r.label + "/time-per-batch", total);
+        rec.setMetric(r.label + "/time-compute", t.compute());
+        rec.setMetric(r.label + "/time-comm", t.communication());
+        rec.setMetric(r.label + "/time-other", t.other());
+        rec.setMetric(r.label + "/norm-time", best / r.throughput);
+        rec.setMetric(r.label + "/mfu", r.rep.mfu);
     }
     out.print(std::cout);
 
     std::cout << "\nA100 -> B200-NVS-L speedup: " << best / a100
               << "x (paper: ~35x following NVIDIA's scaling trend)\n";
+
+    rec.setMetric("speedup/a100-to-b200-nvs-l", best / a100);
+    report::writeRunRecord("RUN_fig5.json", rec);
+    std::cout << "wrote RUN_fig5.json\n";
     return 0;
 }

@@ -59,6 +59,17 @@ main()
     dse.threads = 1;
     const int threads = resolveThreads();
 
+    // Ledger entry for the regression sentinel: one metric per
+    // (network, node, DRAM) corner, diffable against
+    // baselines/fig6.json.
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("fig6"));
+    bench_cfg.set("grid_steps", JsonValue::number(double(dse.gridSteps)));
+    bench_cfg.set("refine_rounds",
+                  JsonValue::number(double(dse.refineRounds)));
+    report::RunRecord rec =
+        report::beginBenchRecord("fig6", std::move(bench_cfg));
+
     for (const NetworkLink &net : nettech::scalingSweep()) {
         std::vector<std::string> headers = {"Node"};
         for (const DramTech &d : dram::trainingSweep())
@@ -95,8 +106,12 @@ main()
         for (const LogicNode &node : logicNodes()) {
             out.beginRow().cell(node.name);
             for (size_t d = 0;
-                 d < dram::trainingSweep().size(); ++d)
+                 d < dram::trainingSweep().size(); ++d) {
+                rec.setMetric(net.name + "/" + node.name + "/" +
+                                  cells[idx].dram.name,
+                              objectives[idx]);
                 out.cell(objectives[idx++], 3);
+            }
             out.endRow();
         }
 
@@ -105,5 +120,8 @@ main()
         out.print(std::cout);
         std::cout << "\n";
     }
+
+    report::writeRunRecord("RUN_fig6.json", rec);
+    std::cout << "wrote RUN_fig6.json\n";
     return 0;
 }

@@ -45,6 +45,24 @@ main()
 
     Device a100 = presets::a100_80gb();
 
+    // Ledger entry for the regression sentinel: one metric triple per
+    // (TP, DRAM, network) point, diffable against baselines/fig9.json.
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("fig9"));
+    report::RunRecord rec =
+        report::beginBenchRecord("fig9", std::move(bench_cfg));
+    auto record_point = [&rec](int tp, const std::string &dram,
+                               const std::string &net,
+                               const InferenceReport &rep) {
+        std::string base = "tp" + std::to_string(tp) + "/" + dram +
+                           "/" + net;
+        rec.setMetric(base + "/latency-ms", rep.totalLatency * 1e3);
+        rec.setMetric(base + "/decode-mem-ms",
+                      rep.decode.memoryTime * 1e3);
+        rec.setMetric(base + "/decode-comm-ms",
+                      rep.decode.commTime * 1e3);
+    };
+
     for (int tp : {2, 8}) {
         Table out({"DRAM", "Network", "latency (ms)", "decode mem "
                    "(ms)", "decode comm (ms)", "comm/mem"});
@@ -62,6 +80,7 @@ main()
             });
         for (size_t i = 0; i < sweep.size(); ++i) {
             const InferenceReport &rep = reports[i];
+            record_point(tp, sweep[i].name, "NV3", rep);
             out.beginRow()
                 .cell(sweep[i].name)
                 .cell("NV3")
@@ -79,6 +98,7 @@ main()
         Device dev = presets::withDram(a100, hx.name, hx.bandwidth,
                                        hx.capacity);
         InferenceReport rep = run(dev, presets::nvlink4(), tp);
+        record_point(tp, hx.name, "NV4", rep);
         out.beginRow()
             .cell(hx.name)
             .cell("NV4")
@@ -95,6 +115,7 @@ main()
         Device h100 = presets::withDram(presets::h100_sxm(), h3e.name,
                                         h3e.bandwidth, h3e.capacity);
         InferenceReport href = run(h100, presets::nvlink4(), tp);
+        record_point(tp, "h100-hbm3e-ref", "NV4", href);
         out.beginRow()
             .cell("H100-HBM3E (ref)")
             .cell("NV4")
@@ -110,5 +131,8 @@ main()
         out.print(std::cout);
         std::cout << "\n";
     }
+
+    report::writeRunRecord("RUN_fig9.json", rec);
+    std::cout << "wrote RUN_fig9.json\n";
     return 0;
 }

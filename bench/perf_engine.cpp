@@ -126,9 +126,10 @@ BENCHMARK(BM_DseSearch);
  * Direct A/B timing of evaluateTraining with tracing disabled vs
  * enabled, written as BENCH_trace_overhead.json. The disabled path is
  * the acceptance gate: a nullptr trace pointer must stay within noise
- * of the pre-instrumentation engine.
+ * of the pre-instrumentation engine. Returns the report for the
+ * combined RunRecord.
  */
-void
+JsonValue
 writeTraceOverheadReport()
 {
     using clock = std::chrono::steady_clock;
@@ -184,6 +185,7 @@ writeTraceOverheadReport()
     std::cout << "trace overhead: disabled " << disabled_ns / 1e6
               << " ms/eval, enabled " << enabled_ns / 1e6
               << " ms/eval -> BENCH_trace_overhead.json\n";
+    return out;
 }
 
 /**
@@ -192,8 +194,9 @@ writeTraceOverheadReport()
  * as BENCH_sweep_speedup.json. The acceptance gates: results must be
  * bit-identical across thread counts (divergences == 0), and on a
  * multi-core host the 8-thread sweep must not be slower than serial.
+ * Returns the report for the combined RunRecord.
  */
-void
+JsonValue
 writeSweepSpeedupReport()
 {
     using clock = std::chrono::steady_clock;
@@ -366,6 +369,38 @@ writeSweepSpeedupReport()
               << " divergences), tile cache "
               << 100.0 * cache.hitRate()
               << "% hits -> BENCH_sweep_speedup.json\n";
+    return out;
+}
+
+/**
+ * Fold the two JSON reports into one RunRecord ledger entry
+ * (RUN_perf_engine.json). Wall-clock timings vary run to run, so
+ * this record is informational -- it is NOT gated against a baseline
+ * by the regression sentinel, unlike the prediction benches.
+ */
+void
+writePerfEngineRecord(const JsonValue &overhead, const JsonValue &sweep)
+{
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("perf-engine"));
+    report::RunRecord rec =
+        report::beginBenchRecord("perf-engine", std::move(bench_cfg));
+
+    auto fold = [&rec](const std::string &prefix, const JsonValue &v) {
+        for (const auto &member : v.asObject()) {
+            if (member.second.isNumber())
+                rec.setMetric(prefix + "/" + member.first,
+                              member.second.asNumber());
+            else if (member.second.isString())
+                rec.setAttr(prefix + "/" + member.first,
+                            member.second.asString());
+        }
+    };
+    fold("trace-overhead", overhead);
+    fold("sweep-speedup", sweep);
+
+    report::writeRunRecord("RUN_perf_engine.json", rec);
+    std::cout << "wrote RUN_perf_engine.json\n";
 }
 
 } // namespace
@@ -378,7 +413,8 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    writeTraceOverheadReport();
-    writeSweepSpeedupReport();
+    JsonValue overhead = writeTraceOverheadReport();
+    JsonValue sweep = writeSweepSpeedupReport();
+    writePerfEngineRecord(overhead, sweep);
     return 0;
 }

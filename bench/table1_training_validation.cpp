@@ -69,6 +69,15 @@ main()
     Table out({"Model", "#GPUs", "Batch", "DP-TP-PP-SP", "Recompute",
                "t_ref (s)", "t_pred (s)", "dE (%)"});
 
+    // Ledger entry for the regression sentinel: every predicted cell
+    // becomes a validation row diffable against baselines/table1.json.
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("table1"));
+    bench_cfg.set("rows",
+                  JsonValue::number(double(tableRows().size())));
+    report::RunRecord rec =
+        report::beginBenchRecord("table1", std::move(bench_cfg));
+
     double err_sum = 0.0;
     double err_max = 0.0;
     for (const Row &row : tableRows()) {
@@ -93,6 +102,16 @@ main()
         err_sum += err;
         err_max = std::max(err_max, err);
 
+        report::ValidationRow vrow;
+        vrow.name = row.model.name + "/" +
+                    std::to_string(row.gpus) + "gpu/" +
+                    recomputeName(row.recompute) +
+                    (row.sp ? "-sp" : "");
+        vrow.reference = row.t_ref;
+        vrow.predicted = rep.timePerBatch;
+        rec.validation.push_back(vrow);
+        rec.setMetric("memory/" + vrow.name, rep.memory.total());
+
         out.beginRow()
             .cell(row.model.name)
             .cell(static_cast<long long>(row.gpus))
@@ -108,5 +127,11 @@ main()
     out.print(std::cout);
     std::cout << "\nmean |dE| = " << err_sum / tableRows().size()
               << " %, max |dE| = " << err_max << " %\n";
+
+    rec.setMetric("error/mean-abs-pct",
+                  err_sum / double(tableRows().size()));
+    rec.setMetric("error/max-abs-pct", err_max);
+    report::writeRunRecord("RUN_table1.json", rec);
+    std::cout << "wrote RUN_table1.json\n";
     return 0;
 }

@@ -67,6 +67,16 @@ main()
     System a100 = presets::dgxA100(1);
     System h100 = presets::dgxH100(1);
 
+    // Ledger entry for the regression sentinel: each (model, TP,
+    // system) latency prediction becomes a validation row diffable
+    // against baselines/table2.json.
+    JsonValue bench_cfg = JsonValue::object();
+    bench_cfg.set("bench", JsonValue::string("table2"));
+    bench_cfg.set("rows",
+                  JsonValue::number(double(tableRows().size())));
+    report::RunRecord rec =
+        report::beginBenchRecord("table2", std::move(bench_cfg));
+
     double err_sum = 0.0;
     double err_max = 0.0;
     int count = 0;
@@ -78,6 +88,15 @@ main()
         err_sum += ea + eh;
         err_max = std::max({err_max, ea, eh});
         count += 2;
+
+        std::string base =
+            row.model.name + "/tp" + std::to_string(row.tp);
+        report::ValidationRow va{base + "/a100-ms", row.nvidia_a100_ms,
+                                 pa};
+        report::ValidationRow vh{base + "/h100-ms", row.nvidia_h100_ms,
+                                 ph};
+        rec.validation.push_back(va);
+        rec.validation.push_back(vh);
 
         out.beginRow()
             .cell(row.model.name)
@@ -95,5 +114,10 @@ main()
     out.print(std::cout);
     std::cout << "\nmean |dE| = " << err_sum / count
               << " %, max |dE| = " << err_max << " %\n";
+
+    rec.setMetric("error/mean-abs-pct", err_sum / double(count));
+    rec.setMetric("error/max-abs-pct", err_max);
+    report::writeRunRecord("RUN_table2.json", rec);
+    std::cout << "wrote RUN_table2.json\n";
     return 0;
 }

@@ -44,7 +44,7 @@ inferenceObjective(const Device &dev)
 }
 
 void
-report(const char *label, const DseResult &r)
+printResult(const char *label, const DseResult &r)
 {
     const Device &d = r.device;
     std::cout << label << ":\n"
@@ -73,9 +73,9 @@ main()
     tech.dram = dram::hbm3();
     tech.powerBudget = 700.0;
 
-    report("Optimized for GPT-7B training (1024 GPUs)",
+    printResult("Optimized for GPT-7B training (1024 GPUs)",
            optimizeAllocation(tech, trainingObjective));
-    report("Optimized for Llama2-13B inference (1 GPU)",
+    printResult("Optimized for Llama2-13B inference (1 GPU)",
            optimizeAllocation(tech, inferenceObjective));
 
     std::cout << "Inference is DRAM-bound, so its optimum spends "

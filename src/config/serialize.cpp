@@ -272,6 +272,50 @@ toJson(const TrainingMemory &mem)
 }
 
 JsonValue
+toJson(const TrainingOptions &opts)
+{
+    // Field names mirror trainingOptionsFromJson, so a serialized
+    // options object (e.g. inside a RunRecord's canonical config)
+    // deserializes back to the same evaluation. The trace pointer is
+    // runtime state, not configuration.
+    JsonValue j = JsonValue::object();
+    j.set("precision",
+          JsonValue::string(precisionName(opts.precision)));
+    j.set("recompute", JsonValue::string(recomputeName(opts.recompute)));
+    j.set("seqLength", JsonValue::number(double(opts.seqLength)));
+    j.set("dpOverlapFraction",
+          JsonValue::number(opts.dpOverlapFraction));
+    j.set("tpOverlapFraction",
+          JsonValue::number(opts.tpOverlapFraction));
+    j.set("flashAttention", JsonValue::boolean(opts.flashAttention));
+    j.set("zeroStage", JsonValue::number(double(opts.memory.zeroStage)));
+    j.set("activationBytes",
+          JsonValue::number(opts.memory.activationBytes));
+    return j;
+}
+
+JsonValue
+toJson(const InferenceOptions &opts)
+{
+    JsonValue j = JsonValue::object();
+    j.set("precision",
+          JsonValue::string(precisionName(opts.precision)));
+    j.set("tensorParallel",
+          JsonValue::number(double(opts.tensorParallel)));
+    j.set("pipelineParallel",
+          JsonValue::number(double(opts.pipelineParallel)));
+    j.set("batch", JsonValue::number(double(opts.batch)));
+    j.set("promptLength",
+          JsonValue::number(double(opts.promptLength)));
+    j.set("generateLength",
+          JsonValue::number(double(opts.generateLength)));
+    j.set("flashAttention", JsonValue::boolean(opts.flashAttention));
+    j.set("kvPrecision",
+          JsonValue::string(precisionName(opts.kvPrecision)));
+    return j;
+}
+
+JsonValue
 toJson(const TrainingReport &rep)
 {
     JsonValue j = JsonValue::object();

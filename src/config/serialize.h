@@ -49,6 +49,8 @@ JsonValue toJson(const System &sys);
 JsonValue toJson(const TransformerConfig &cfg);
 JsonValue toJson(const ParallelConfig &par);
 JsonValue toJson(const TrainingMemory &mem);
+JsonValue toJson(const TrainingOptions &opts);
+JsonValue toJson(const InferenceOptions &opts);
 JsonValue toJson(const TrainingReport &rep);
 JsonValue toJson(const InferenceReport &rep);
 JsonValue toJson(const lint::Diagnostic &diag);

@@ -1,0 +1,40 @@
+#include "report/version.h"
+
+namespace optimus {
+namespace report {
+
+namespace {
+
+constexpr const char *kToolVersion = "0.5.0";
+
+constexpr const char *kGitSha =
+#ifdef OPTIMUS_GIT_SHA
+    OPTIMUS_GIT_SHA;
+#else
+    "unknown";
+#endif
+
+} // namespace
+
+const char *
+toolVersion()
+{
+    return kToolVersion;
+}
+
+const char *
+gitSha()
+{
+    return kGitSha;
+}
+
+std::string
+versionLine()
+{
+    return std::string("optimus ") + kToolVersion +
+           " (RunRecord schema " + std::to_string(kSchemaVersion) +
+           ", git " + kGitSha + ")";
+}
+
+} // namespace report
+} // namespace optimus

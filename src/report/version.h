@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Build identity of the tool: semantic version, RunRecord schema
+ * version, and the git commit the binary was configured from.
+ *
+ * Every RunRecord embeds this triple so a ledger entry is always
+ * attributable to the exact code that produced it, and the diff
+ * engine can warn when two records came from different schema
+ * generations. The git SHA is wired in at CMake configure time
+ * (OPTIMUS_GIT_SHA compile definition on version.cpp); a build from
+ * an exported tarball reports "unknown".
+ */
+
+#ifndef OPTIMUS_REPORT_VERSION_H
+#define OPTIMUS_REPORT_VERSION_H
+
+#include <string>
+
+namespace optimus {
+namespace report {
+
+/**
+ * RunRecord schema generation. Bump on any change to the JSON layout
+ * that an old parser would misread; additive optional fields do not
+ * require a bump.
+ */
+constexpr int kSchemaVersion = 1;
+
+/** Semantic version of the tool ("MAJOR.MINOR.PATCH"). */
+const char *toolVersion();
+
+/** Short git SHA recorded at configure time ("unknown" outside git). */
+const char *gitSha();
+
+/** One-line "optimus X.Y.Z (RunRecord schema N, git SHA)" banner. */
+std::string versionLine();
+
+} // namespace report
+} // namespace optimus
+
+#endif // OPTIMUS_REPORT_VERSION_H

@@ -21,7 +21,22 @@ chromeTraceJson(const TraceSession &session)
     JsonValue doc = JsonValue::object();
     JsonValue events = JsonValue::array();
 
-    // Lane names as thread_name metadata so Perfetto labels rows.
+    // Process/thread metadata ("M" events) so Perfetto labels the
+    // two process groups and every lane instead of showing bare ids.
+    auto processName = [&events](int pid, const std::string &name) {
+        JsonValue e = JsonValue::object();
+        e.set("ph", JsonValue::string("M"));
+        e.set("name", JsonValue::string("process_name"));
+        e.set("pid", JsonValue::number(double(pid)));
+        JsonValue args = JsonValue::object();
+        args.set("name", JsonValue::string(name));
+        e.set("args", std::move(args));
+        events.push(std::move(e));
+    };
+    processName(0, "optimus model timeline");
+    if (!session.counterSamples().empty())
+        processName(1, "optimus counters");
+
     const std::vector<TraceLane> &lanes = session.lanes();
     for (size_t i = 0; i < lanes.size(); ++i) {
         JsonValue e = JsonValue::object();

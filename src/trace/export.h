@@ -4,8 +4,9 @@
  * Perfetto / chrome://tracing), a per-kernel CSV, and an aggregated
  * text summary.
  *
- * Chrome trace-event mapping: every lane becomes a thread (tid) of
- * pid 0 named via "M" thread_name metadata events; spans become
+ * Chrome trace-event mapping: pids 0 (timeline) and 1 (counters) are
+ * named via "M" process_name metadata events; every lane becomes a
+ * thread (tid) of pid 0 named via "M" thread_name metadata; spans become
  * complete ("X") events with microsecond timestamps; counter samples
  * become counter ("C") events on pid 1, sequenced by sample index.
  */

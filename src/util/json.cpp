@@ -418,8 +418,15 @@ numberInto(std::string &out, double v)
         out += std::to_string(static_cast<long long>(v));
         return;
     }
+    // Shortest representation that parses back to the same double:
+    // ledger round trips (RunRecord serialize -> parse) must be
+    // lossless, but "0.1" should not print as "0.1000000000000000056".
     char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    for (int prec : {12, 15, 16, 17}) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
     out += buf;
 }
 

@@ -105,8 +105,12 @@ Table::printCsv(std::ostream &os) const
     auto emit = [&](const std::vector<std::string> &row) {
         for (size_t c = 0; c < row.size(); ++c) {
             const std::string &cell = row[c];
-            bool quote = cell.find(',') != std::string::npos ||
-                         cell.find('"') != std::string::npos;
+            // RFC 4180: a field containing a separator, a quote or a
+            // line break is quoted, with embedded quotes doubled —
+            // kernel/category names like `attn "qk^T", fp16` must not
+            // corrupt the row structure.
+            bool quote =
+                cell.find_first_of(",\"\n\r") != std::string::npos;
             if (quote) {
                 os << '"';
                 for (char ch : cell) {

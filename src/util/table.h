@@ -51,7 +51,10 @@ class Table
     /** Print with aligned columns and a header separator. */
     void print(std::ostream &os) const;
 
-    /** Emit RFC-4180-ish CSV (quotes cells containing commas). */
+    /**
+     * Emit RFC-4180 CSV: cells containing commas, quotes or line
+     * breaks are quoted, embedded quotes doubled.
+     */
     void printCsv(std::ostream &os) const;
 
   private:

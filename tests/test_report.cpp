@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the run ledger & diff engine: RunRecord JSON round trips
+ * losslessly, a record diffed against itself is empty, a perturbed
+ * kernel is attributed to the exact kernel and component, the
+ * regression-sentinel exit code honors the tolerance, and structural
+ * drift (bound flips, one-sided kernels, fingerprint mismatches) is
+ * never excused by tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hw/presets.h"
+#include "report/diff.h"
+#include "report/record.h"
+#include "report/version.h"
+#include "training/trainer.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "workload/presets.h"
+
+namespace optimus {
+namespace {
+
+report::RunRecord
+smallTrainingRecord()
+{
+    ParallelConfig par;
+    par.dataParallel = 2;
+    par.tensorParallel = 4;
+    par.pipelineParallel = 2;
+    par.sequenceParallel = true;
+    TrainingOptions opts;
+    opts.recompute = Recompute::Selective;
+    return report::recordTraining(models::gpt7b(), presets::dgxA100(2),
+                                  par, 32, opts, "unit-test");
+}
+
+TEST(RunRecord, BuilderFillsIdentityAndContent)
+{
+    report::RunRecord rec = smallTrainingRecord();
+    EXPECT_EQ(rec.schemaVersion, report::kSchemaVersion);
+    EXPECT_EQ(rec.toolVersion, report::toolVersion());
+    EXPECT_EQ(rec.gitSha, report::gitSha());
+    EXPECT_EQ(rec.kind, "training");
+    EXPECT_EQ(rec.label, "unit-test");
+    EXPECT_EQ(rec.fingerprint, report::fingerprintJson(rec.config));
+    EXPECT_EQ(rec.fingerprint.size(), 16u);
+    EXPECT_TRUE(rec.hasMetric("time/total"));
+    EXPECT_TRUE(rec.hasMetric("mfu"));
+    EXPECT_GT(rec.metric("time/total"), 0.0);
+    EXPECT_FALSE(rec.kernels.empty());
+    for (const report::KernelStat &k : rec.kernels) {
+        EXPECT_FALSE(k.key.empty());
+        EXPECT_GT(k.count, 0);
+        EXPECT_FALSE(k.bound.empty());
+    }
+}
+
+TEST(RunRecord, JsonRoundTripIsLossless)
+{
+    report::RunRecord rec = smallTrainingRecord();
+    rec.setAttr("note", "quote \" comma , newline \n done");
+    rec.validation.push_back({"row/one", 1.25, 1.2500001});
+
+    // Serialize, re-parse the dumped text (the on-disk path), parse
+    // back — every field must compare exactly, doubles included.
+    JsonValue j = JsonValue::parse(report::toJson(rec).dump(2));
+    report::RunRecord back = report::recordFromJson(j);
+
+    EXPECT_EQ(back.schemaVersion, rec.schemaVersion);
+    EXPECT_EQ(back.toolVersion, rec.toolVersion);
+    EXPECT_EQ(back.gitSha, rec.gitSha);
+    EXPECT_EQ(back.kind, rec.kind);
+    EXPECT_EQ(back.label, rec.label);
+    EXPECT_EQ(back.fingerprint, rec.fingerprint);
+    EXPECT_EQ(back.threads, rec.threads);
+    EXPECT_EQ(back.config.dump(), rec.config.dump());
+
+    ASSERT_EQ(back.metrics.size(), rec.metrics.size());
+    for (size_t i = 0; i < rec.metrics.size(); ++i) {
+        EXPECT_EQ(back.metrics[i].first, rec.metrics[i].first);
+        EXPECT_EQ(back.metrics[i].second, rec.metrics[i].second)
+            << rec.metrics[i].first;
+    }
+    ASSERT_EQ(back.kernels.size(), rec.kernels.size());
+    for (size_t i = 0; i < rec.kernels.size(); ++i) {
+        EXPECT_EQ(back.kernels[i].key, rec.kernels[i].key);
+        EXPECT_EQ(back.kernels[i].count, rec.kernels[i].count);
+        EXPECT_EQ(back.kernels[i].time, rec.kernels[i].time);
+        EXPECT_EQ(back.kernels[i].flops, rec.kernels[i].flops);
+        EXPECT_EQ(back.kernels[i].dramBytes, rec.kernels[i].dramBytes);
+        EXPECT_EQ(back.kernels[i].bound, rec.kernels[i].bound);
+    }
+    EXPECT_EQ(back.counters, rec.counters);
+    ASSERT_EQ(back.validation.size(), rec.validation.size());
+    EXPECT_EQ(back.validation.back().name, "row/one");
+    EXPECT_EQ(back.validation.back().predicted, 1.2500001);
+    EXPECT_EQ(back.attrs, rec.attrs);
+
+    // The loss-free contract is what makes self-diff exact.
+    report::RunDiff diff = report::diffRuns(rec, back);
+    EXPECT_TRUE(diff.empty());
+}
+
+TEST(RunDiff, SelfDiffIsEmptyAndClean)
+{
+    report::RunRecord rec = smallTrainingRecord();
+    report::RunDiff diff = report::diffRuns(rec, rec);
+    EXPECT_TRUE(diff.empty());
+    EXPECT_FALSE(diff.drifted());
+    EXPECT_EQ(report::checkExitCode(diff), 0);
+}
+
+TEST(RunDiff, PerturbedKernelIsAttributedExactly)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    ASSERT_GT(b.kernels.size(), 2u);
+    const std::string victim = b.kernels[2].key;
+    b.kernels[2].time *= 1.01;  // +1% with identical work recorded
+
+    report::RunDiff diff = report::diffRuns(a, b);  // tol 0.5%
+    ASSERT_EQ(diff.kernels.size(), 1u);
+    EXPECT_EQ(diff.kernels[0].key, victim);
+    EXPECT_NEAR(diff.kernels[0].timeDeltaPct(), 1.0, 1e-6);
+    EXPECT_EQ(diff.kernels[0].component(), "throughput");
+    EXPECT_TRUE(diff.kernels[0].beyondTolerance);
+    EXPECT_TRUE(diff.drifted());
+    EXPECT_EQ(report::checkExitCode(diff), 1);
+}
+
+TEST(RunDiff, ExitCodeHonorsTolerance)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    b.kernels[0].time *= 1.01;
+
+    report::DiffOptions loose;
+    loose.tolPct = 5.0;
+    report::RunDiff ok = report::diffRuns(a, b, loose);
+    EXPECT_FALSE(ok.drifted());
+    EXPECT_EQ(report::checkExitCode(ok), 0);
+    // The change is still *reported*, just not gated.
+    ASSERT_EQ(ok.kernels.size(), 1u);
+    EXPECT_FALSE(ok.kernels[0].beyondTolerance);
+
+    report::DiffOptions tight;
+    tight.tolPct = 0.1;
+    EXPECT_EQ(report::checkExitCode(report::diffRuns(a, b, tight)), 1);
+}
+
+TEST(RunDiff, ComponentAttributionTracksWork)
+{
+    report::RunRecord a = smallTrainingRecord();
+
+    report::RunRecord flops = a;
+    flops.kernels[0].flops *= 2.0;
+    flops.kernels[0].time *= 2.0;
+    report::RunDiff d1 = report::diffRuns(a, flops);
+    ASSERT_FALSE(d1.kernels.empty());
+    EXPECT_EQ(d1.kernels[0].component(), "flops");
+
+    report::RunRecord bytes = a;
+    bytes.kernels[0].dramBytes *= 1.5;
+    report::RunDiff d2 = report::diffRuns(a, bytes);
+    ASSERT_FALSE(d2.kernels.empty());
+    EXPECT_EQ(d2.kernels[0].component(), "bytes");
+}
+
+TEST(RunDiff, BoundFlipAlwaysDrifts)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    b.kernels[0].bound =
+        (a.kernels[0].bound == "DRAM") ? "compute" : "DRAM";
+
+    report::DiffOptions loose;
+    loose.tolPct = 1e9;  // no numeric tolerance can excuse a flip
+    report::RunDiff diff = report::diffRuns(a, b, loose);
+    ASSERT_EQ(diff.kernels.size(), 1u);
+    EXPECT_TRUE(diff.kernels[0].boundFlip);
+    EXPECT_EQ(diff.kernels[0].component(), "bound");
+    EXPECT_TRUE(diff.drifted());
+}
+
+TEST(RunDiff, OneSidedKernelAlwaysDrifts)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    report::KernelStat dropped = b.kernels.back();
+    b.kernels.pop_back();
+
+    report::DiffOptions loose;
+    loose.tolPct = 1e9;
+    report::RunDiff diff = report::diffRuns(a, b, loose);
+    ASSERT_EQ(diff.kernels.size(), 1u);
+    EXPECT_EQ(diff.kernels[0].key, dropped.key);
+    EXPECT_TRUE(diff.kernels[0].onlyA);
+    EXPECT_TRUE(diff.drifted());
+}
+
+TEST(RunDiff, FingerprintMismatchMakesRecordsIncomparable)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    b.fingerprint = "0000000000000000";
+
+    report::RunDiff diff = report::diffRuns(a, b);
+    EXPECT_FALSE(diff.comparable);
+    EXPECT_TRUE(diff.drifted());
+    EXPECT_EQ(report::checkExitCode(diff), 1);
+}
+
+TEST(RunDiff, ValidationPredictionGatesReferenceDoesNot)
+{
+    report::RunRecord a = smallTrainingRecord();
+    a.validation.push_back({"table/row", 10.0, 9.8});
+    report::RunRecord b = a;
+    b.validation[0].predicted = 10.3;  // ~5% move in the prediction
+
+    report::RunDiff diff = report::diffRuns(a, b);
+    ASSERT_EQ(diff.validation.size(), 1u);
+    EXPECT_EQ(diff.validation[0].key, "table/row");
+    EXPECT_TRUE(diff.validation[0].beyondTolerance);
+    EXPECT_TRUE(diff.drifted());
+}
+
+TEST(RunDiff, CountersNeverGate)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    b.counters["tile-cache/hits"] += 1000.0;
+    b.counters["exec/threads"] = 8.0;
+
+    report::RunDiff diff = report::diffRuns(a, b);
+    EXPECT_FALSE(diff.counters.empty());
+    EXPECT_FALSE(diff.empty());
+    EXPECT_FALSE(diff.drifted()) << "counter churn must not gate CI";
+    EXPECT_EQ(report::checkExitCode(diff), 0);
+}
+
+TEST(RunRecord, FingerprintIsStableAndSensitive)
+{
+    JsonValue cfg = JsonValue::object();
+    cfg.set("model", JsonValue::string("gpt-7b"));
+    cfg.set("batch", JsonValue::number(32));
+    std::string fp = report::fingerprintJson(cfg);
+    EXPECT_EQ(fp, report::fingerprintJson(cfg));
+
+    cfg.set("batch", JsonValue::number(64));
+    EXPECT_NE(fp, report::fingerprintJson(cfg));
+}
+
+TEST(RunRecord, RejectsNewerSchema)
+{
+    report::RunRecord rec = smallTrainingRecord();
+    JsonValue j = report::toJson(rec);
+    j.set("schema_version",
+          JsonValue::number(double(report::kSchemaVersion + 1)));
+    EXPECT_THROW(report::recordFromJson(j), ConfigError);
+}
+
+TEST(ReportVersion, VersionLineCarriesIdentity)
+{
+    std::string line = report::versionLine();
+    EXPECT_NE(line.find(report::toolVersion()), std::string::npos);
+    EXPECT_NE(line.find("schema 1"), std::string::npos);
+    EXPECT_NE(line.find(report::gitSha()), std::string::npos);
+}
+
+TEST(RunDiff, TextReportNamesKernelAndDecomposition)
+{
+    report::RunRecord a = smallTrainingRecord();
+    report::RunRecord b = a;
+    b.kernels[1].time *= 1.02;
+    b.setMetric("time/total", a.metric("time/total") * 1.02);
+
+    report::DiffOptions opts;
+    report::RunDiff diff = report::diffRuns(a, b, opts);
+    std::string text = report::diffText(diff, a, b, opts);
+    EXPECT_NE(text.find(b.kernels[1].key), std::string::npos);
+    EXPECT_NE(text.find("time/total"), std::string::npos);
+    EXPECT_NE(text.find("DRIFT"), std::string::npos);
+}
+
+} // namespace
+} // namespace optimus

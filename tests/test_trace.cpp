@@ -332,5 +332,74 @@ TEST(Trace, ExportersProduceOutput)
     EXPECT_NE(text.find("counter"), std::string::npos);
 }
 
+TEST(Trace, KernelCsvEscapesRfc4180)
+{
+    TraceSession session;
+    int lane = session.lane("kernels/fwd");
+
+    TraceSpan comma;
+    comma.name = "gemm, fused";
+    comma.category = "kernel";
+    comma.duration = 1e-3;
+    comma.bound = "compute";
+    session.emit(lane, comma);
+
+    TraceSpan quoted;
+    quoted.name = "attn \"flash\" path";
+    quoted.category = "kernel";
+    quoted.duration = 2e-3;
+    quoted.bound = "DRAM";
+    session.emit(lane, quoted);
+
+    TraceSpan newline;
+    newline.name = "multi\nline";
+    newline.category = "kernel";
+    newline.duration = 3e-3;
+    newline.bound = "L2";
+    session.emit(lane, newline);
+
+    std::string csv = kernelCsv(session);
+    // A cell containing a comma is wrapped in quotes...
+    EXPECT_NE(csv.find("\"gemm, fused\""), std::string::npos);
+    // ...embedded quotes are doubled per RFC 4180...
+    EXPECT_NE(csv.find("\"attn \"\"flash\"\" path\""),
+              std::string::npos);
+    // ...and embedded newlines are quoted rather than row-splitting.
+    EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+
+    // Unquoted cells stay unquoted: the header has no escaping.
+    EXPECT_NE(csv.find("lane,name,category"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonNamesProcessesAndThreads)
+{
+    TraceSession session = tracedTraining();
+    JsonValue doc = chromeTraceJson(session);
+    const std::vector<JsonValue> &events =
+        doc.at("traceEvents").asArray();
+
+    bool timeline_named = false;
+    bool counters_named = false;
+    int thread_names = 0;
+    for (const JsonValue &e : events) {
+        if (e.getString("ph", "") != "M")
+            continue;
+        if (e.getString("name", "") == "process_name") {
+            const std::string label =
+                e.at("args").getString("name", "");
+            if (e.getInt("pid", -1) == 0)
+                timeline_named = label == "optimus model timeline";
+            if (e.getInt("pid", -1) == 1)
+                counters_named = label == "optimus counters";
+        }
+        if (e.getString("name", "") == "thread_name")
+            ++thread_names;
+    }
+    EXPECT_TRUE(timeline_named);
+    EXPECT_TRUE(counters_named);
+    EXPECT_EQ(thread_names,
+              static_cast<int>(session.lanes().size()));
+}
+
 } // namespace
 } // namespace optimus

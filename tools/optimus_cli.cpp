@@ -567,33 +567,48 @@ resolveDramTech(const std::string &name)
     throw ConfigError("unknown --dram value: " + name);
 }
 
-int
-cmdDse(const Args &args)
+/** DSE problem resolved from flags, shared by `dse` and `record`. */
+struct DseSetup
 {
     TechConfig tech;
-    tech.node = logicNode(args.get("node", "N5"));
-    tech.dram = resolveDramTech(args.get("dram", "hbm3"));
-    tech.areaBudget = args.getNumber("area", tech.areaBudget);
-    tech.powerBudget = args.getNumber("power", tech.powerBudget);
+    DeviceObjective objective;
+    std::string label;
+    DseOptions dopts;
+    /** Canonical description of the objective, for RunRecords. */
+    JsonValue objectiveConfig;
+};
+
+DseSetup
+resolveDseSetup(const Args &args)
+{
+    DseSetup s;
+    s.tech.node = logicNode(args.get("node", "N5"));
+    s.tech.dram = resolveDramTech(args.get("dram", "hbm3"));
+    s.tech.areaBudget = args.getNumber("area", s.tech.areaBudget);
+    s.tech.powerBudget = args.getNumber("power", s.tech.powerBudget);
 
     const int gpus = static_cast<int>(args.getInt("gpus-per-node", 8));
     std::string mode = args.get("mode", "train");
-    DeviceObjective objective;
-    std::string label;
     TransformerConfig model = config::modelPreset(args.get(
         "model", mode == "infer" ? "llama2-13b" : "gpt-7b"));
+    s.objectiveConfig = JsonValue::object();
+    s.objectiveConfig.set("mode", JsonValue::string(mode));
+    s.objectiveConfig.set("model", JsonValue::string(model.name));
+    s.objectiveConfig.set("gpusPerNode",
+                          JsonValue::number(double(gpus)));
     if (mode == "infer") {
         InferenceOptions opts;
         opts.tensorParallel = args.getInt("tp", 1);
         opts.batch = args.getInt("batch", 1);
         opts.promptLength = args.getInt("prompt", 200);
         opts.generateLength = args.getInt("generate", 200);
-        objective = [=](const Device &dev) {
-            System s = makeSystem(dev, gpus, 1, presets::nvlink4(),
-                                  nettech::gdrX8());
-            return evaluateInference(model, s, opts).totalLatency;
+        s.objective = [=](const Device &dev) {
+            System sys = makeSystem(dev, gpus, 1, presets::nvlink4(),
+                                    nettech::gdrX8());
+            return evaluateInference(model, sys, opts).totalLatency;
         };
-        label = model.name + " inference latency";
+        s.label = model.name + " inference latency";
+        s.objectiveConfig.set("inference", config::toJson(opts));
     } else if (mode == "train") {
         const int nodes = static_cast<int>(args.getInt("nodes", 16));
         ParallelConfig par;
@@ -608,24 +623,40 @@ cmdDse(const Args &args)
         TrainingOptions topts;
         topts.recompute = Recompute::Selective;
         topts.seqLength = args.getInt("seq", 2048);
-        objective = [=](const Device &dev) {
-            System s = makeSystem(dev, gpus, nodes,
-                                  presets::nvlink4(),
-                                  nettech::gdrX8());
-            return evaluateTraining(model, s, par, batch, topts)
+        s.objective = [=](const Device &dev) {
+            System sys = makeSystem(dev, gpus, nodes,
+                                    presets::nvlink4(),
+                                    nettech::gdrX8());
+            return evaluateTraining(model, sys, par, batch, topts)
                 .timePerBatch;
         };
-        label = model.name + " training time per batch";
+        s.label = model.name + " training time per batch";
+        s.objectiveConfig.set("nodes",
+                              JsonValue::number(double(nodes)));
+        s.objectiveConfig.set("parallel", config::toJson(par));
+        s.objectiveConfig.set("batch",
+                              JsonValue::number(double(batch)));
+        s.objectiveConfig.set("training", config::toJson(topts));
     } else {
         throw ConfigError("unknown --mode value: " + mode);
     }
 
-    DseOptions dopts;
-    dopts.gridSteps =
-        static_cast<int>(args.getInt("grid", dopts.gridSteps));
-    dopts.refineRounds =
-        static_cast<int>(args.getInt("rounds", dopts.refineRounds));
-    dopts.threads = static_cast<int>(args.getInt("threads", 0));
+    s.dopts.gridSteps =
+        static_cast<int>(args.getInt("grid", s.dopts.gridSteps));
+    s.dopts.refineRounds =
+        static_cast<int>(args.getInt("rounds", s.dopts.refineRounds));
+    s.dopts.threads = static_cast<int>(args.getInt("threads", 0));
+    return s;
+}
+
+int
+cmdDse(const Args &args)
+{
+    DseSetup setup = resolveDseSetup(args);
+    TechConfig &tech = setup.tech;
+    DeviceObjective &objective = setup.objective;
+    std::string &label = setup.label;
+    DseOptions &dopts = setup.dopts;
 
     TraceSession session;
     dopts.trace = &session;
@@ -665,6 +696,113 @@ cmdDse(const Args &args)
         std::cout << "\n";
         counterSummaryTable(session).print(std::cout);
     }
+    return 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    std::string path = args.positionals().empty()
+                           ? args.get("config", "")
+                           : args.positionals().front();
+    JsonValue cfg = JsonValue::object();
+    if (!path.empty()) {
+        std::ifstream in(path);
+        checkConfig(in.good(), "cannot open config file " + path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        cfg = JsonValue::parse(ss.str());
+    }
+
+    std::string mode = args.get(
+        "mode", (cfg.isObject() && cfg.has("inference")) ? "infer"
+                                                         : "train");
+    report::RunRecord rec;
+    if (mode == "infer") {
+        TransformerConfig model = resolveModel(args, cfg);
+        System sys = resolveSystem(args, cfg);
+        InferenceOptions opts = resolveInferenceOptions(args, cfg);
+        rec = report::recordInference(
+            model, sys, opts,
+            args.get("label", model.name + " inference"));
+    } else if (mode == "train") {
+        TransformerConfig model = resolveModel(args, cfg);
+        System sys = resolveSystem(args, cfg);
+        ParallelConfig par = resolveParallel(args, cfg);
+        if (!args.has("dp") &&
+            !(cfg.isObject() && cfg.has("parallel"))) {
+            long long rest =
+                par.tensorParallel * par.pipelineParallel;
+            if (sys.totalDevices() % rest == 0)
+                par.dataParallel = sys.totalDevices() / rest;
+        }
+        long long batch = args.getInt("batch", 64);
+        TrainingOptions opts = resolveTrainingOptions(args, cfg);
+        rec = report::recordTraining(
+            model, sys, par, batch, opts,
+            args.get("label", model.name + " training"));
+    } else if (mode == "plan") {
+        TransformerConfig model = resolveModel(args, cfg);
+        System sys = resolveSystem(args, cfg);
+        long long batch = args.getInt("batch", 64);
+        TrainingPlannerOptions opts;
+        opts.seqLength = args.getInt("seq", 2048);
+        opts.precision =
+            parsePrecision(args.get("precision", "fp16"));
+        opts.keep = static_cast<size_t>(args.getInt("top", 8));
+        opts.threads = static_cast<int>(args.getInt("threads", 0));
+        rec = report::recordPlanner(
+            model, sys, batch, opts,
+            args.get("label", model.name + " planner"));
+    } else if (mode == "dse") {
+        DseSetup setup = resolveDseSetup(args);
+        rec = report::recordDse(setup.tech, setup.objective,
+                                setup.dopts, setup.objectiveConfig,
+                                args.get("label", setup.label));
+    } else {
+        throw ConfigError("unknown --mode value: " + mode);
+    }
+
+    std::string out = args.get("out", "run.json");
+    report::writeRunRecord(out, rec);
+    std::cout << report::versionLine() << "\n"
+              << rec.kind << " run '" << rec.label
+              << "', config fingerprint " << rec.fingerprint << "\n"
+              << rec.metrics.size() << " metrics, "
+              << rec.kernels.size() << " kernel aggregates, "
+              << rec.counters.size() << " counters ("
+              << rec.wallSeconds * 1e3 << " ms wall)\n"
+              << "wrote " << out << "\n";
+    return 0;
+}
+
+int
+cmdDiff(const Args &args)
+{
+    checkConfig(args.positionals().size() == 2,
+                "diff needs two run files: optimus_cli diff <a.json> "
+                "<b.json> [--check] [--tol-pct N] [--json]");
+    report::RunRecord a =
+        report::loadRunRecord(args.positionals()[0]);
+    report::RunRecord b =
+        report::loadRunRecord(args.positionals()[1]);
+
+    report::DiffOptions dopts;
+    dopts.tolPct = args.getNumber("tol-pct", dopts.tolPct);
+    report::RunDiff diff = report::diffRuns(a, b, dopts);
+
+    if (args.has("json"))
+        std::cout << report::toJson(diff).dump(2) << "\n";
+    else
+        std::cout << report::diffText(diff, a, b, dopts);
+
+    return args.has("check") ? report::checkExitCode(diff) : 0;
+}
+
+int
+cmdVersion()
+{
+    std::cout << report::versionLine() << "\n";
     return 0;
 }
 
@@ -718,6 +856,14 @@ usage()
         "           [--area MM2] [--power W] [--verbose] "
         "[--threads N]\n"
         "           optimize the compute/memory area+power split\n"
+        "  record   <config.json> [--mode train|infer|plan|dse]\n"
+        "           [--out run.json] [--label NAME]\n"
+        "           write a schema-versioned RunRecord ledger entry\n"
+        "  diff     <a.json> <b.json> [--check] [--tol-pct N] "
+        "[--json]\n"
+        "           compare two RunRecords; --check exits 1 on drift\n"
+        "           beyond tolerance (default 0.5%)\n"
+        "  version  print tool version, RunRecord schema, git SHA\n"
         "  presets  list built-in presets\n"
         "\n"
         "common flags: --config FILE (JSON), --json (JSON output),\n"
@@ -751,6 +897,12 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (args.command() == "dse")
             return cmdDse(args);
+        if (args.command() == "record")
+            return cmdRecord(args);
+        if (args.command() == "diff")
+            return cmdDiff(args);
+        if (args.command() == "version" || args.has("version"))
+            return cmdVersion();
         if (args.command() == "presets")
             return cmdPresets();
         return usage();
