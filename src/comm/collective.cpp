@@ -100,6 +100,14 @@ collectiveTime(CollectiveKind kind, double volume, long long group_size,
     return ring.time <= tree.time ? ring : tree;
 }
 
+GroupScope
+groupScopeFor(const System &sys, long long packed_degree)
+{
+    checkPositive(packed_degree, "communication group packed degree");
+    return packed_degree > sys.devicesPerNode ? GroupScope::InterNode
+                                              : GroupScope::IntraNode;
+}
+
 CollectiveResult
 systemCollective(const System &sys, CollectiveKind kind, double volume,
                  long long group_size, GroupScope scope,

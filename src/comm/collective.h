@@ -73,6 +73,21 @@ enum class GroupScope {
 };
 
 /**
+ * Scope convention for a communication group under the standard
+ * Megatron packing order (TP innermost, then CP/EP/PP, DP outermost):
+ * a group spans nodes only when the product of the parallel degrees
+ * packed inside it *exceeds* devicesPerNode. At exactly
+ * devicesPerNode the group still fits one node and stays on the
+ * intra-node link.
+ *
+ * @p packed_degree is that product: `tp` for the TP group, `cp*tp`
+ * for CP, `tp*pp` for EP and PP, `totalDevices` for DP. Every scope
+ * decision in the kernel-plan lowering pass goes through this one
+ * predicate so training and inference can never disagree.
+ */
+GroupScope groupScopeFor(const System &sys, long long packed_degree);
+
+/**
  * Cost of a collective mapped onto @p sys: intra-node groups use the
  * intra-node link; inter-node groups use a 1/devicesPerNode share of
  * the per-node inter-node link (all devices of a node communicate

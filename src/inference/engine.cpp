@@ -2,289 +2,22 @@
 
 #include <algorithm>
 
-#include "memory/kv_cache.h"
-#include "trace/trace.h"
-#include "util/error.h"
+#include "plan/plan.h"
 #include "workload/graph.h"
 
 namespace optimus {
 
-namespace {
-
-/** Accumulate one op estimate into a phase report. */
-KernelEstimate
-accumulate(PhaseReport &phase, const Device &dev, const Op &op)
-{
-    KernelEstimate est = evaluateOp(dev, op);
-    phase.time += est.time;
-    phase.overheadTime += est.overhead;
-    if (!est.memTimePerLevel.empty())
-        phase.memoryTime += est.memTimePerLevel[0];
-    // Bound-type buckets include each kernel's launch overhead, as in
-    // the paper's per-kernel accounting (a 3 us per-head attention
-    // kernel is counted as memory-bound time even though its cost is
-    // launch-dominated).
-    if (op.kind == OpKind::Gemm ||
-        op.kind == OpKind::FusedAttention) {
-        if (est.computeBound())
-            phase.computeBoundGemmTime += est.time;
-        else
-            phase.memoryBoundGemmTime += est.time;
-    } else {
-        phase.otherKernelTime += est.time;
-    }
-    return est;
-}
-
-/**
- * Trace category of an op within @p phase ("prefill"/"decode"),
- * mirroring accumulate()'s bucket choice so per-category span sums
- * reproduce the PhaseReport fields.
- */
-std::string
-traceCategory(const char *phase, const Op &op,
-              const KernelEstimate &est)
-{
-    const char *bucket = "other";
-    if (op.kind == OpKind::Gemm || op.kind == OpKind::FusedAttention)
-        bucket = est.computeBound() ? "gemm-compute" : "gemm-memory";
-    return std::string(phase) + "-" + bucket;
-}
-
-/** TP all-reduce time for one layer's two row-parallel outputs. */
-double
-layerCommTime(const System &sys, const InferenceOptions &opts,
-              double tokens, double hidden)
-{
-    if (opts.tensorParallel <= 1)
-        return 0.0;
-    double volume = tokens * hidden * precisionBytes(opts.precision);
-    CollectiveResult ar = systemCollective(
-        sys, CollectiveKind::AllReduce, volume, opts.tensorParallel,
-        GroupScope::IntraNode, opts.collectiveAlgorithm);
-    return 2.0 * ar.time;
-}
-
-} // namespace
-
+// The whole evaluation lives in the plan pipeline (plan/plan.h):
+// lowerInference builds the per-(phase, token, op) step list,
+// evaluatePlan runs the roofline and collective models, foldInference
+// produces the PhaseReports and the trace spans, and runInference
+// adds the KV-cache / weight footprint tail. This function is only
+// the historical entry point.
 InferenceReport
 evaluateInference(const TransformerConfig &cfg, const System &sys,
                   const InferenceOptions &opts)
 {
-    cfg.validate();
-    sys.validate();
-    checkPositive(opts.batch, "batch");
-    checkPositive(opts.promptLength, "promptLength");
-    checkPositive(opts.generateLength, "generateLength");
-    checkPositive(opts.tensorParallel, "tensorParallel");
-    checkPositive(opts.pipelineParallel, "pipelineParallel");
-    checkConfig(opts.tensorParallel * opts.pipelineParallel <=
-                    sys.totalDevices(),
-                "TP x PP exceeds system size");
-    checkConfig(cfg.numLayers % opts.pipelineParallel == 0,
-                "layers must divide by the PP degree");
-
-    const Device &dev = sys.device;
-    const long long L = cfg.numLayers;
-    InferenceReport rep;
-
-    TraceSession *tr = opts.trace;
-    const bool tron = tracing(tr);
-    int lane_prefill = 0, lane_prefill_comm = 0, lane_decode = 0,
-        lane_decode_comm = 0;
-    if (tron) {
-        lane_prefill = tr->lane("prefill");
-        lane_prefill_comm = tr->lane("prefill/comm");
-        lane_decode = tr->lane("decode");
-        lane_decode_comm = tr->lane("decode/comm");
-        tr->counterAdd("infer/decode-tokens",
-                       double(opts.generateLength));
-        tr->counterAdd("infer/layers", double(L));
-    }
-
-    // ---- Prefill (summarization) ------------------------------------
-    LayerGraphParams gp;
-    gp.batch = opts.batch;
-    gp.seq = opts.promptLength;
-    gp.tensorParallel = opts.tensorParallel;
-    gp.precision = opts.precision;
-    gp.training = false;
-    gp.flashAttention = opts.flashAttention;
-
-    PhaseReport layer_prefill;
-    std::vector<Op> prefill_ops = layerForwardOps(cfg, gp);
-    std::vector<KernelEstimate> prefill_ests;
-    for (const Op &op : prefill_ops) {
-        KernelEstimate est = accumulate(layer_prefill, dev, op);
-        if (tron)
-            prefill_ests.push_back(std::move(est));
-    }
-
-    rep.prefill.time = layer_prefill.time * L;
-    rep.prefill.computeBoundGemmTime =
-        layer_prefill.computeBoundGemmTime * L;
-    rep.prefill.memoryBoundGemmTime =
-        layer_prefill.memoryBoundGemmTime * L;
-    rep.prefill.otherKernelTime = layer_prefill.otherKernelTime * L;
-    rep.prefill.overheadTime = layer_prefill.overheadTime * L;
-    rep.prefill.memoryTime = layer_prefill.memoryTime * L;
-    const double prefill_layer_comm =
-        layerCommTime(sys, opts,
-                      double(opts.batch) * opts.promptLength,
-                      double(cfg.hiddenSize));
-    rep.prefill.commTime = prefill_layer_comm * L;
-    rep.prefill.time += rep.prefill.commTime;
-
-    if (tron)
-        for (long long l = 0; l < L; ++l) {
-            for (size_t i = 0; i < prefill_ops.size(); ++i) {
-                TraceSpan s = kernelSpan(
-                    dev, prefill_ops[i].name,
-                    traceCategory("prefill", prefill_ops[i],
-                                  prefill_ests[i]),
-                    prefill_ests[i]);
-                s.layer = l;
-                tr->emit(lane_prefill, std::move(s));
-            }
-            if (prefill_layer_comm > 0.0) {
-                TraceSpan s;
-                s.name = "tp-allreduce";
-                s.category = "prefill-comm";
-                s.duration = prefill_layer_comm;
-                s.layer = l;
-                tr->emit(lane_prefill_comm, std::move(s));
-            }
-        }
-
-    // First sampled token: the LM head runs once on the last position.
-    for (const Op &op : headOps(cfg, opts.batch, opts.tensorParallel,
-                                opts.precision)) {
-        KernelEstimate est = accumulate(rep.prefill, dev, op);
-        if (tron)
-            tr->emit(lane_prefill,
-                     kernelSpan(dev, op.name,
-                                traceCategory("prefill", op, est),
-                                est));
-    }
-
-    // ---- Decode (auto-regressive generation) -------------------------
-    for (long long i = 0; i < opts.generateLength; ++i) {
-        long long context = opts.promptLength + i + 1;
-        PhaseReport step;
-        for (const Op &op : decodeLayerOps(cfg, opts.batch, context,
-                                           opts.tensorParallel,
-                                           opts.precision,
-                                           opts.kvPrecision)) {
-            KernelEstimate est = accumulate(step, dev, op);
-            if (tron) {
-                // One span aggregates the op over all L layers of
-                // this token (duration, FLOPs and traffic scaled).
-                TraceSpan s = kernelSpan(
-                    dev, op.name,
-                    traceCategory("decode", op, est), est);
-                s.duration = est.time * double(L);
-                s.flops = est.flops * double(L);
-                for (double &b : s.bytesPerLevel)
-                    b *= double(L);
-                s.overhead = est.overhead * double(L);
-                s.step = i;
-                tr->emit(lane_decode, std::move(s));
-            }
-        }
-
-        rep.decode.time += step.time * L;
-        rep.decode.computeBoundGemmTime +=
-            step.computeBoundGemmTime * L;
-        rep.decode.memoryBoundGemmTime +=
-            step.memoryBoundGemmTime * L;
-        rep.decode.otherKernelTime += step.otherKernelTime * L;
-        rep.decode.overheadTime += step.overheadTime * L;
-        rep.decode.memoryTime += step.memoryTime * L;
-
-        double comm = layerCommTime(sys, opts, double(opts.batch),
-                                    double(cfg.hiddenSize)) * L;
-        rep.decode.commTime += comm;
-        rep.decode.time += comm;
-        if (tron && comm > 0.0) {
-            TraceSpan s;
-            s.name = "tp-allreduce";
-            s.category = "decode-comm";
-            s.duration = comm;
-            s.step = i;
-            tr->emit(lane_decode_comm, std::move(s));
-        }
-
-        // Sampling head for this token.
-        PhaseReport head;
-        for (const Op &op : headOps(cfg, opts.batch,
-                                    opts.tensorParallel,
-                                    opts.precision)) {
-            KernelEstimate est = accumulate(head, dev, op);
-            if (tron) {
-                TraceSpan s = kernelSpan(
-                    dev, op.name,
-                    traceCategory("decode", op, est), est);
-                s.step = i;
-                tr->emit(lane_decode, std::move(s));
-            }
-        }
-        rep.decode.time += head.time;
-        rep.decode.memoryTime += head.memoryTime;
-        rep.decode.overheadTime += head.overheadTime;
-        if (head.computeBoundGemmTime > 0.0)
-            rep.decode.computeBoundGemmTime += head.computeBoundGemmTime;
-        rep.decode.memoryBoundGemmTime += head.memoryBoundGemmTime;
-        rep.decode.otherKernelTime += head.otherKernelTime;
-    }
-
-    // Pipeline-parallel stages add one activation hop per boundary:
-    // per prefill pass and per generated token.
-    if (opts.pipelineParallel > 1) {
-        GroupScope scope =
-            (opts.tensorParallel * opts.pipelineParallel >
-             sys.devicesPerNode)
-                ? GroupScope::InterNode
-                : GroupScope::IntraNode;
-        double hops = double(opts.pipelineParallel - 1);
-        double prefill_vol = double(opts.batch) * opts.promptLength *
-                             cfg.hiddenSize *
-                             precisionBytes(opts.precision);
-        double token_vol = double(opts.batch) * cfg.hiddenSize *
-                           precisionBytes(opts.precision);
-        double prefill_hop =
-            systemCollective(sys, CollectiveKind::PointToPoint,
-                             prefill_vol, 2, scope)
-                .time;
-        double token_hop =
-            systemCollective(sys, CollectiveKind::PointToPoint,
-                             token_vol, 2, scope)
-                .time;
-        rep.prefill.commTime += hops * prefill_hop;
-        rep.prefill.time += hops * prefill_hop;
-        double decode_comm = hops * token_hop *
-                             double(opts.generateLength);
-        rep.decode.commTime += decode_comm;
-        rep.decode.time += decode_comm;
-        if (tron) {
-            tr->emit(lane_prefill_comm, "pp-hops", "prefill-comm",
-                     hops * prefill_hop);
-            tr->emit(lane_decode_comm, "pp-hops", "decode-comm",
-                     decode_comm);
-        }
-    }
-
-    rep.totalLatency = rep.prefill.time + rep.decode.time;
-
-    // ---- Memory accounting --------------------------------------------
-    long long final_ctx = opts.promptLength + opts.generateLength;
-    rep.kvCacheBytes = kvCacheBytes(cfg, opts.batch, final_ctx,
-                                    opts.kvPrecision);
-    rep.weightBytes = modelWeightBytes(cfg, opts.precision);
-    rep.fitsDeviceMemory =
-        (rep.weightBytes + rep.kvCacheBytes) /
-            double(opts.tensorParallel * opts.pipelineParallel) <=
-        dev.dram().capacity;
-    return rep;
+    return plan::runInference(cfg, sys, opts).report;
 }
 
 namespace {

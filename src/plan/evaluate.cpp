@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The single evaluator: maps every PlanStep through the roofline
+ * (workload/graph.h) and collective (comm/collective.h) models.
+ *
+ * Op-list evaluations are memoized — always within one plan (the
+ * recompute step reuses the forward estimate, decode heads repeat per
+ * token), and optionally across plans through a shared EvalCache
+ * (planner candidates differing only in DP degree lower to identical
+ * op lists). Cached values are deterministic, so neither memo level
+ * can change results at any thread count.
+ */
+
+#include "plan/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace optimus {
+namespace plan {
+
+bool
+EvalCache::lookup(const std::string &key, KernelEstimate *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+EvalCache::insert(const std::string &key, const KernelEstimate &est)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(key, est);
+}
+
+size_t
+EvalCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+namespace {
+
+void
+appendDouble(std::string &sig, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    sig += buf;
+    sig += ';';
+}
+
+void
+appendInt(std::string &sig, long long v)
+{
+    sig += std::to_string(v);
+    sig += ';';
+}
+
+/**
+ * Full numeric signature of an op list on one device. Labels are
+ * excluded (they never affect the numbers); every field evaluateOp
+ * reads is included.
+ */
+std::string
+opsSignature(const Device &dev, const std::vector<Op> &ops)
+{
+    std::string sig = dev.name;
+    sig += '|';
+    for (const Op &op : ops) {
+        appendInt(sig, static_cast<long long>(op.kind));
+        appendInt(sig, op.gemm.m);
+        appendInt(sig, op.gemm.n);
+        appendInt(sig, op.gemm.k);
+        appendInt(sig, static_cast<long long>(op.gemm.precision));
+        appendInt(sig, op.count);
+        appendInt(sig, op.launchCount);
+        appendDouble(sig, op.rows);
+        appendDouble(sig, op.cols);
+        appendDouble(sig, op.elements);
+        appendDouble(sig, op.flopsPerElement);
+        appendDouble(sig, op.fusedFlops);
+        appendDouble(sig, op.fusedDramBytes);
+        appendDouble(sig, op.fusedOnChipBytes);
+        appendInt(sig, static_cast<long long>(op.fusedPrecision));
+        appendDouble(sig, op.streamBytes);
+        appendDouble(sig, op.streamFlops);
+        appendInt(sig, static_cast<long long>(op.streamPrecision));
+        sig += op.fused ? 'f' : 'u';
+        sig += '|';
+    }
+    return sig;
+}
+
+/** Memoized evaluation of one compute part. */
+KernelEstimate
+evaluatePart(const Device &dev, const ComputePart &part,
+             std::map<std::string, KernelEstimate> &local,
+             EvalCache *shared)
+{
+    std::string key = opsSignature(dev, part.ops);
+    KernelEstimate est;
+    auto it = local.find(key);
+    if (it != local.end()) {
+        est = it->second;
+    } else if (shared != nullptr && shared->lookup(key, &est)) {
+        local.emplace(key, est);
+    } else {
+        // A single op goes through evaluateOp directly so the cached
+        // estimate is bit-identical to the per-kernel detail path.
+        est = (part.ops.size() == 1)
+                  ? evaluateOp(dev, part.ops[0])
+                  : evaluateOps(dev, part.ops, part.label);
+        local.emplace(key, est);
+        if (shared != nullptr)
+            shared->insert(key, est);
+    }
+    est.kernel =
+        part.ops.size() == 1 ? part.ops[0].name : part.label;
+    return est;
+}
+
+} // namespace
+
+EvaluatedPlan
+evaluatePlan(KernelPlan plan, const System &sys,
+             const EvaluateOptions &opts)
+{
+    EvaluatedPlan ep;
+    ep.dev = sys.device;
+    ep.evals.reserve(plan.steps.size());
+
+    std::map<std::string, KernelEstimate> local;
+    // Running busy time of the steps evaluated so far — the quantity
+    // the pipeline-bubble step scales (the bubble is lowered after
+    // every per-iteration step and before DP/optimizer).
+    double busy = 0.0;
+
+    for (const PlanStep &st : plan.steps) {
+        StepEval ev;
+        ev.category = st.category;
+        const double instances =
+            double(st.repeatLayer) * double(st.repeatMicrobatch);
+
+        switch (st.kind) {
+          case StepKind::Compute: {
+            double combined = 0.0;
+            for (size_t pi = 0; pi < st.parts.size(); ++pi) {
+                KernelEstimate est = evaluatePart(
+                    ep.dev, st.parts[pi], local, opts.cache);
+                double scaled = est.time * st.parts[pi].scale;
+                if (pi == 0)
+                    combined = scaled;
+                else if (st.combine == PartCombine::Max)
+                    combined = std::max(combined, scaled);
+                else
+                    combined += scaled;
+                ev.partEsts.push_back(std::move(est));
+            }
+            ev.perInstance = combined;
+            ev.total = ev.perInstance * instances;
+            if (st.bucketByBound) {
+                // Bound-bucketed steps are single-op by construction.
+                const Op &op = st.parts[0].ops[0];
+                const char *bucket = "other";
+                if (op.kind == OpKind::Gemm ||
+                    op.kind == OpKind::FusedAttention)
+                    bucket = ev.partEsts[0].computeBound()
+                                 ? "gemm-compute"
+                                 : "gemm-memory";
+                ev.category = st.phase + "-" + bucket;
+            }
+            if (opts.detail && !st.detailLane.empty())
+                for (const Op &op : st.parts[0].ops)
+                    ev.opEsts.push_back(evaluateOp(ep.dev, op));
+            break;
+          }
+          case StepKind::Collective:
+            ev.coll = systemCollective(sys, st.collective, st.volume,
+                                       st.groupSize, st.scope,
+                                       st.algorithm);
+            ev.perInstance =
+                (ev.coll.time * st.callsPerInstance) *
+                st.exposedFraction;
+            ev.total = ev.perInstance * instances;
+            break;
+          case StepKind::Synthetic:
+            if (st.synthetic == SyntheticKind::Bubble)
+                ev.total = busy * st.syntheticValue;
+            else
+                ev.total = st.syntheticValue /
+                           (ep.dev.dram().bandwidth *
+                            ep.dev.dram().utilization);
+            ev.perInstance = ev.total;
+            break;
+        }
+
+        busy += ev.total;
+        ep.evals.push_back(std::move(ev));
+    }
+
+    ep.plan = std::move(plan);
+    return ep;
+}
+
+} // namespace plan
+} // namespace optimus

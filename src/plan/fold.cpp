@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The single folder: derives every downstream artifact — breakdown
+ * aggregates, trace spans, per-kernel RunRecord aggregates — from one
+ * evaluated plan via one shared span-stream walker, so the trace
+ * invariant (per-category span sums reproduce the aggregate report)
+ * holds by construction.
+ */
+
+#include "plan/plan.h"
+
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace optimus {
+namespace plan {
+
+namespace {
+
+/** Instance span of a step (coordinates stamped by the caller). */
+TraceSpan
+instanceSpan(const Device &dev, const PlanStep &st, const StepEval &ev)
+{
+    if (st.kernelDetail)
+        return kernelSpan(dev, st.name, ev.category, ev.partEsts[0]);
+    TraceSpan s;
+    s.name = st.name;
+    s.category = ev.category;
+    s.duration = ev.perInstance;
+    return s;
+}
+
+/**
+ * Walk the deterministic span stream of an evaluated plan: for every
+ * step, first its per-op kernel-detail spans (detailLane), then its
+ * instance spans in microbatch-major, layer-inner order (or one
+ * layer-aggregated span per microbatch). @p fn receives
+ * (lane name, span).
+ */
+template <typename Fn>
+void
+forEachStepSpan(const EvaluatedPlan &ep, Fn &&fn)
+{
+    for (size_t i = 0; i < ep.plan.steps.size(); ++i) {
+        const PlanStep &st = ep.plan.steps[i];
+        const StepEval &ev = ep.evals[i];
+
+        if (!st.detailLane.empty() && !ev.opEsts.empty()) {
+            const std::vector<Op> &ops = st.parts[0].ops;
+            for (size_t j = 0; j < ops.size(); ++j) {
+                TraceSpan s = kernelSpan(ep.dev, ops[j].name,
+                                         st.detailCategory,
+                                         ev.opEsts[j]);
+                s.microbatch = 0;
+                s.layer = 0;
+                fn(st.detailLane, std::move(s));
+            }
+        }
+
+        if (st.kind == StepKind::Synthetic) {
+            // The bubble span is suppressed when the schedule has no
+            // bubble (pp == 1); the optimizer span always appears.
+            if (st.synthetic == SyntheticKind::Bubble &&
+                !(ev.total > 0.0))
+                continue;
+            TraceSpan s;
+            s.name = st.name;
+            s.category = ev.category;
+            s.duration = ev.total;
+            fn(st.lane, std::move(s));
+            continue;
+        }
+
+        for (long long mb = 0; mb < st.repeatMicrobatch; ++mb) {
+            if (st.aggregateLayers) {
+                TraceSpan s = instanceSpan(ep.dev, st, ev);
+                const double rl = double(st.repeatLayer);
+                s.duration = ev.perInstance * rl;
+                if (s.isKernel()) {
+                    s.flops *= rl;
+                    for (double &b : s.bytesPerLevel)
+                        b *= rl;
+                    s.overhead *= rl;
+                }
+                if (st.coordMicrobatch)
+                    s.microbatch = mb;
+                s.step = st.step;
+                fn(st.lane, std::move(s));
+                continue;
+            }
+            for (long long l = 0; l < st.repeatLayer; ++l) {
+                TraceSpan s = instanceSpan(ep.dev, st, ev);
+                if (st.coordMicrobatch)
+                    s.microbatch = mb;
+                if (st.coordLayer)
+                    s.layer = l;
+                s.step = st.step;
+                fn(st.lane, std::move(s));
+            }
+        }
+    }
+}
+
+/** Emit the full span stream (lanes and counters first) into @p tr. */
+void
+emitTrace(const EvaluatedPlan &ep, TraceSession &tr)
+{
+    std::map<std::string, int> lane_ids;
+    for (const std::string &name : ep.plan.lanes)
+        lane_ids[name] = tr.lane(name);
+    for (const auto &kv : ep.plan.counters)
+        tr.counterAdd(kv.first, kv.second);
+    forEachStepSpan(ep, [&](const std::string &lane, TraceSpan s) {
+        auto it = lane_ids.find(lane);
+        if (it == lane_ids.end())
+            it = lane_ids.emplace(lane, tr.lane(lane)).first;
+        tr.emit(it->second, std::move(s));
+    });
+}
+
+/** TrainingBreakdown field addressed by a category name. */
+double *
+breakdownField(TrainingBreakdown &t, const std::string &category)
+{
+    if (category == "forward") return &t.forward;
+    if (category == "backward") return &t.backward;
+    if (category == "recompute") return &t.recompute;
+    if (category == "embedding") return &t.embedding;
+    if (category == "tp-comm") return &t.tpComm;
+    if (category == "cp-comm") return &t.cpComm;
+    if (category == "ep-comm") return &t.epComm;
+    if (category == "pp-comm") return &t.ppComm;
+    if (category == "dp-comm") return &t.dpComm;
+    if (category == "bubble") return &t.bubble;
+    if (category == "optimizer") return &t.optimizer;
+    return nullptr;
+}
+
+} // namespace
+
+FoldedTraining
+foldTraining(const EvaluatedPlan &ep, TraceSession *trace)
+{
+    FoldedTraining f;
+    for (size_t i = 0; i < ep.plan.steps.size(); ++i) {
+        const PlanStep &st = ep.plan.steps[i];
+        const StepEval &ev = ep.evals[i];
+        double *field = breakdownField(f.time, ev.category);
+        checkConfig(field != nullptr,
+                    "training plan step '" + st.name +
+                        "' has unknown category '" + ev.category + "'");
+        *field += ev.total;
+        if (st.kind == StepKind::Compute && !ev.partEsts.empty()) {
+            if (st.name == "layer-fwd")
+                f.layerForward = ev.partEsts[0];
+            else if (st.name == "layer-bwd")
+                f.layerBackward = ev.partEsts[0];
+        }
+    }
+    if (tracing(trace))
+        emitTrace(ep, *trace);
+    return f;
+}
+
+FoldedInference
+foldInference(const EvaluatedPlan &ep, TraceSession *trace)
+{
+    FoldedInference f;
+    for (size_t i = 0; i < ep.plan.steps.size(); ++i) {
+        const PlanStep &st = ep.plan.steps[i];
+        const StepEval &ev = ep.evals[i];
+        PhaseReport &r =
+            (st.phase == "decode") ? f.decode : f.prefill;
+        if (st.kind == StepKind::Compute) {
+            const KernelEstimate &est = ev.partEsts[0];
+            const double inst =
+                double(st.repeatLayer) * double(st.repeatMicrobatch);
+            r.time += ev.total;
+            r.overheadTime += est.overhead * inst;
+            if (!est.memTimePerLevel.empty())
+                r.memoryTime += est.memTimePerLevel[0] * inst;
+            // Bound-type buckets include each kernel's launch
+            // overhead, as in the paper's per-kernel accounting (a
+            // 3 us per-head attention kernel counts as memory-bound
+            // time even though its cost is launch-dominated).
+            if (ev.category.ends_with("gemm-compute"))
+                r.computeBoundGemmTime += ev.total;
+            else if (ev.category.ends_with("gemm-memory"))
+                r.memoryBoundGemmTime += ev.total;
+            else
+                r.otherKernelTime += ev.total;
+        } else if (st.kind == StepKind::Collective) {
+            r.commTime += ev.total;
+            r.time += ev.total;
+        }
+    }
+    if (tracing(trace))
+        emitTrace(ep, *trace);
+    return f;
+}
+
+std::vector<KernelAggregate>
+kernelAggregates(const EvaluatedPlan &ep)
+{
+    struct Agg
+    {
+        KernelAggregate a;
+        std::map<std::string, double> boundTime;
+    };
+    std::map<std::string, Agg> by_key;
+
+    forEachStepSpan(ep, [&](const std::string &lane, TraceSpan s) {
+        if (!s.isKernel())
+            return;
+        const std::string key = lane + "/" + s.name;
+        Agg &g = by_key[key];
+        if (g.a.count == 0) {
+            g.a.key = key;
+            g.a.category = s.category;
+        }
+        ++g.a.count;
+        g.a.time += s.duration;
+        g.a.flops += s.flops;
+        g.a.dramBytes += s.dramBytes();
+        g.a.overhead += s.overhead;
+        g.boundTime[s.bound] += s.duration;
+    });
+
+    std::vector<KernelAggregate> out;
+    out.reserve(by_key.size());
+    for (auto &kv : by_key) {
+        // A kernel whose bound class varies within the run (e.g. a
+        // decode GEMV flipping DRAM -> L2 as the context grows) is
+        // labeled by its time-dominant class; ties break
+        // lexicographically so the label is deterministic.
+        Agg &g = kv.second;
+        double best = -1.0;
+        for (const auto &bt : g.boundTime)
+            if (bt.second > best) {
+                best = bt.second;
+                g.a.bound = bt.first;
+            }
+        out.push_back(std::move(g.a));
+    }
+    return out;
+}
+
+} // namespace plan
+} // namespace optimus

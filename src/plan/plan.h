@@ -1,0 +1,346 @@
+/**
+ * @file
+ * The kernel-plan IR: one lowering pass, one evaluator, one folder.
+ *
+ * The paper's core abstraction is a single pipeline — (model, system,
+ * mapping) -> per-kernel roofline estimates -> folded time/memory/
+ * bound reports — and this module is that pipeline made explicit.
+ * `lowerTraining` / `lowerInference` turn a configuration into a flat,
+ * deterministic KernelPlan: an ordered list of PlanSteps (compute op
+ * lists, collectives with an explicit GroupScope, and synthetic steps
+ * for the pipeline bubble and the optimizer), each tagged with a
+ * stable identity (lane/name), phase, repeat counts and breakdown
+ * category. `evaluatePlan` maps every step through the existing
+ * roofline and collective models, and the folders derive *all*
+ * downstream artifacts from that one evaluated stream:
+ *
+ *  - `foldTraining` / `foldInference` produce the TrainingBreakdown /
+ *    PhaseReport aggregates and, when a TraceSession is supplied, the
+ *    trace spans whose per-category sums reproduce them;
+ *  - `kernelAggregates` produces the per-identity RunRecord kernel
+ *    rows (report/record.h) from the same span stream;
+ *  - `summarizePlan` / `planJson` / `planCsv` expose the plan itself
+ *    (the `optimus_cli kernels` subcommand).
+ *
+ * evaluateTraining / evaluateInference are thin drivers over
+ * runTraining / runInference (lower -> evaluate -> fold plus the
+ * memory/MFU/latency tails); they contain no per-op folding of their
+ * own. See docs/ARCHITECTURE.md.
+ */
+
+#ifndef OPTIMUS_PLAN_PLAN_H
+#define OPTIMUS_PLAN_PLAN_H
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/collective.h"
+#include "hw/system.h"
+#include "inference/engine.h"
+#include "training/trainer.h"
+#include "util/json.h"
+#include "workload/graph.h"
+
+namespace optimus {
+
+class TraceSession;
+
+namespace plan {
+
+/** What a PlanStep models. */
+enum class StepKind {
+    Compute,     ///< one or more op lists through the roofline engines
+    Collective,  ///< a communication collective (comm/collective.h)
+    Synthetic,   ///< derived time: pipeline bubble, optimizer step
+};
+
+/** Synthetic step flavors. */
+enum class SyntheticKind {
+    Bubble,     ///< busy-so-far * bubbleFraction (value = fraction)
+    Optimizer,  ///< value bytes / DRAM effective bandwidth
+};
+
+/** How a multi-part compute step combines its parts. */
+enum class PartCombine {
+    Sum,  ///< parts execute back to back
+    Max,  ///< parts live on different pipeline stages; worst one counts
+};
+
+/** One op list inside a compute step, with a time scale factor. */
+struct ComputePart
+{
+    std::string label;    ///< evaluateOps label for multi-op lists
+    std::vector<Op> ops;
+    double scale = 1.0;   ///< e.g. recompute fraction, fwd+bwd factor
+};
+
+/**
+ * One step of a lowered plan. The identity (lane, name) is stable
+ * across runs of the same configuration — it is the key the diff
+ * engine and the trace lanes agree on.
+ */
+struct PlanStep
+{
+    StepKind kind = StepKind::Compute;
+    std::string lane;      ///< trace lane, e.g. "stage0/comm"
+    std::string name;      ///< event label, e.g. "tp-allreduce"
+    /** Breakdown category; empty for bound-bucketed compute steps. */
+    std::string category;
+    std::string phase;     ///< "train" | "prefill" | "decode"
+
+    /**
+     * Resolve the category from the evaluated bound instead:
+     * phase + "-" + {gemm-compute | gemm-memory | other} (the
+     * inference PhaseReport buckets).
+     */
+    bool bucketByBound = false;
+
+    // ---- Repeat structure -------------------------------------------
+    long long repeatMicrobatch = 1;
+    long long repeatLayer = 1;
+    bool coordMicrobatch = false;  ///< stamp span.microbatch
+    bool coordLayer = false;       ///< stamp span.layer
+    long long step = -1;           ///< decode token index (span.step)
+    /**
+     * Emit one span covering all repeatLayer instances (duration,
+     * FLOPs and traffic scaled by repeatLayer) instead of one span per
+     * layer — the decode-lane aggregation.
+     */
+    bool aggregateLayers = false;
+
+    // ---- Kernel detail ----------------------------------------------
+    /** Instance spans carry full kernel detail (single-op steps). */
+    bool kernelDetail = false;
+    /**
+     * Additionally emit one per-op kernel-detail span per op of
+     * parts[0] on this lane (the trainer's "kernels/fwd" lanes).
+     */
+    std::string detailLane;
+    std::string detailCategory = "kernel";
+
+    // ---- Compute payload --------------------------------------------
+    std::vector<ComputePart> parts;
+    PartCombine combine = PartCombine::Sum;
+
+    // ---- Collective payload -----------------------------------------
+    CollectiveKind collective = CollectiveKind::AllReduce;
+    double volume = 0.0;       ///< bytes per call
+    long long groupSize = 1;
+    GroupScope scope = GroupScope::IntraNode;
+    CollectiveAlgorithm algorithm = CollectiveAlgorithm::Auto;
+    double callsPerInstance = 1.0;   ///< e.g. collectives per layer
+    double exposedFraction = 1.0;    ///< 1 - overlapped fraction
+
+    // ---- Synthetic payload ------------------------------------------
+    SyntheticKind synthetic = SyntheticKind::Bubble;
+    double syntheticValue = 0.0;     ///< fraction (Bubble) or bytes
+};
+
+/** A lowered, deterministic plan for one evaluation. */
+struct KernelPlan
+{
+    std::string phase;  ///< "training" | "inference"
+    std::vector<PlanStep> steps;
+    /** Trace lanes in registration order (stable lane indices). */
+    std::vector<std::string> lanes;
+    /** counterAdd(name, value) pairs recorded before any span. */
+    std::vector<std::pair<std::string, double>> counters;
+
+    long long microbatches = 1;
+    long long layersPerStage = 1;
+    double bubbleFraction = 0.0;
+};
+
+/**
+ * Shared memo of op-list roofline evaluations, keyed by device name
+ * plus a full op signature. Thread-safe; entries are deterministic
+ * (any racing computation of the same key produces the identical
+ * estimate), so sharing a cache across exec-layer workers cannot
+ * change results. Share one cache only across evaluations against the
+ * same System — the key does not hash the device parameters.
+ */
+class EvalCache
+{
+  public:
+    /** Copy the entry for @p key into @p out; false when absent. */
+    bool lookup(const std::string &key, KernelEstimate *out) const;
+    /** Insert (first writer wins; later identical inserts are no-ops). */
+    void insert(const std::string &key, const KernelEstimate &est);
+    /** Number of cached op-list evaluations. */
+    size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, KernelEstimate> entries_;
+};
+
+/** Evaluator knobs. */
+struct EvaluateOptions
+{
+    /**
+     * Also evaluate per-op kernel detail (detailLane spans). The
+     * folders force this on when a TraceSession is attached or when
+     * RunRecord kernel aggregates are wanted.
+     */
+    bool detail = false;
+    EvalCache *cache = nullptr;  ///< optional shared memo
+};
+
+/** Evaluation result of one step. */
+struct StepEval
+{
+    double perInstance = 0.0;  ///< seconds per (microbatch, layer)
+    double total = 0.0;        ///< perInstance * repeats (or synthetic)
+    std::string category;      ///< resolved (bucketByBound applied)
+    std::vector<KernelEstimate> partEsts;  ///< one per ComputePart
+    std::vector<KernelEstimate> opEsts;    ///< per-op detail of parts[0]
+    CollectiveResult coll;     ///< collective steps only
+};
+
+/** A plan with every step evaluated on one system. */
+struct EvaluatedPlan
+{
+    KernelPlan plan;
+    std::vector<StepEval> evals;
+    Device dev;  ///< the device the steps were evaluated on
+};
+
+// ---- Lower -----------------------------------------------------------
+
+/** Lower a training configuration (validates its inputs). */
+KernelPlan lowerTraining(const TransformerConfig &cfg, const System &sys,
+                         const ParallelConfig &par, long long global_batch,
+                         const TrainingOptions &opts);
+
+/** Lower an inference configuration (validates its inputs). */
+KernelPlan lowerInference(const TransformerConfig &cfg, const System &sys,
+                          const InferenceOptions &opts);
+
+// ---- Evaluate --------------------------------------------------------
+
+/** Map every step through the roofline / collective models. */
+EvaluatedPlan evaluatePlan(KernelPlan plan, const System &sys,
+                           const EvaluateOptions &opts = {});
+
+// ---- Fold ------------------------------------------------------------
+
+/** Training aggregates folded from an evaluated plan. */
+struct FoldedTraining
+{
+    TrainingBreakdown time;
+    KernelEstimate layerForward;   ///< "layer-fwd" step estimate
+    KernelEstimate layerBackward;  ///< "layer-bwd" step estimate
+};
+
+/** Inference aggregates folded from an evaluated plan. */
+struct FoldedInference
+{
+    PhaseReport prefill;
+    PhaseReport decode;
+};
+
+/**
+ * Fold a training plan into its breakdown; when @p trace is a live
+ * session, also emit the full span stream (lanes registered in plan
+ * order, counters first) whose per-category sums reproduce the
+ * breakdown.
+ */
+FoldedTraining foldTraining(const EvaluatedPlan &ep, TraceSession *trace);
+
+/** Inference analogue of foldTraining. */
+FoldedInference foldInference(const EvaluatedPlan &ep,
+                              TraceSession *trace);
+
+/**
+ * Aggregate of every kernel-detail span sharing one "<lane>/<name>"
+ * identity — the plan-side source of report::KernelStat rows,
+ * produced from the same span stream the trace folders emit.
+ */
+struct KernelAggregate
+{
+    std::string key;
+    std::string category;
+    long long count = 0;
+    double time = 0.0;
+    double flops = 0.0;
+    double dramBytes = 0.0;
+    double overhead = 0.0;
+    std::string bound;  ///< time-dominant bound class
+};
+
+/** Per-identity kernel aggregates (requires a detail evaluation). */
+std::vector<KernelAggregate> kernelAggregates(const EvaluatedPlan &ep);
+
+// ---- Drivers ---------------------------------------------------------
+
+/** Result of a full training run over the plan pipeline. */
+struct TrainingRun
+{
+    TrainingReport report;
+    EvaluatedPlan plan;
+};
+
+/** Result of a full inference run over the plan pipeline. */
+struct InferenceRun
+{
+    InferenceReport report;
+    EvaluatedPlan plan;
+};
+
+/**
+ * lower -> evaluate -> fold, plus the memory / model-FLOPs / MFU tail.
+ * @p detail forces per-op kernel-detail evaluation (implied by an
+ * attached trace session).
+ */
+TrainingRun runTraining(const TransformerConfig &cfg, const System &sys,
+                        const ParallelConfig &par, long long global_batch,
+                        const TrainingOptions &opts, bool detail = false);
+
+/** Inference analogue of runTraining (KV/weight footprint tail). */
+InferenceRun runInference(const TransformerConfig &cfg, const System &sys,
+                          const InferenceOptions &opts,
+                          bool detail = false);
+
+// ---- Plan export (optimus_cli kernels) -------------------------------
+
+/** One row of the plan summary / JSON dump. */
+struct StepSummary
+{
+    std::string lane;
+    std::string name;
+    std::string category;
+    std::string kind;    ///< "compute" | "collective" | "synthetic"
+    long long count = 1; ///< repeatMicrobatch * repeatLayer
+    double perInstance = 0.0;
+    double total = 0.0;
+    double flops = 0.0;      ///< across all instances
+    double dramBytes = 0.0;  ///< across all instances
+    double overhead = 0.0;   ///< across all instances
+    /** Bound class (compute), scope (collective), or empty. */
+    std::string detail;
+};
+
+/** Summarize every step of an evaluated plan, in plan order. */
+std::vector<StepSummary> summarizePlan(const EvaluatedPlan &ep);
+
+/** Schema "optimus-kernel-plan" version 1 document. */
+JsonValue planJson(const EvaluatedPlan &ep);
+
+/** Serialize summaries (the body of planJson). */
+JsonValue summariesToJson(const std::vector<StepSummary> &steps,
+                          const std::string &phase);
+
+/** Parse a planJson document back into summaries (round trip). */
+std::vector<StepSummary> summariesFromJson(const JsonValue &doc,
+                                           std::string *phase = nullptr);
+
+/** RFC-4180 CSV of the step summaries (header + one row per step). */
+std::string planCsv(const EvaluatedPlan &ep);
+
+} // namespace plan
+} // namespace optimus
+
+#endif // OPTIMUS_PLAN_PLAN_H

@@ -9,6 +9,7 @@
 
 #include "config/serialize.h"
 #include "exec/exec.h"
+#include "plan/plan.h"
 #include "report/version.h"
 #include "trace/trace.h"
 #include "util/error.h"
@@ -40,6 +41,27 @@ beginRecord(const std::string &kind, const std::string &label,
     rec.fingerprint = fingerprintJson(config);
     rec.config = std::move(config);
     return rec;
+}
+
+/** Fill rec.kernels straight from the evaluated plan (no trace). */
+void
+planKernels(RunRecord &rec, const plan::EvaluatedPlan &ep)
+{
+    rec.kernels.clear();
+    std::vector<plan::KernelAggregate> aggs = plan::kernelAggregates(ep);
+    rec.kernels.reserve(aggs.size());
+    for (plan::KernelAggregate &a : aggs) {
+        KernelStat k;
+        k.key = std::move(a.key);
+        k.category = std::move(a.category);
+        k.count = a.count;
+        k.time = a.time;
+        k.flops = a.flops;
+        k.dramBytes = a.dramBytes;
+        k.overhead = a.overhead;
+        k.bound = std::move(a.bound);
+        rec.kernels.push_back(std::move(k));
+    }
 }
 
 } // namespace
@@ -304,12 +326,15 @@ recordTraining(const TransformerConfig &model, const System &sys,
     RunRecord rec = beginRecord("training", label, std::move(config));
     rec.threads = resolveThreads();
 
-    TraceSession session;
-    opts.trace = &session;
+    // The recorder reads kernel aggregates and counters straight off
+    // the evaluated plan; no trace session is involved.
+    opts.trace = nullptr;
     clock::time_point t0 = clock::now();
-    TrainingReport rep =
-        evaluateTraining(model, sys, par, global_batch, opts);
+    plan::TrainingRun run = plan::runTraining(model, sys, par,
+                                              global_batch, opts,
+                                              /*detail=*/true);
     rec.wallSeconds = secondsSince(t0);
+    const TrainingReport &rep = run.report;
 
     const TrainingBreakdown &t = rep.time;
     rec.setMetric("time/total", rep.timePerBatch);
@@ -337,7 +362,11 @@ recordTraining(const TransformerConfig &model, const System &sys,
     rec.setMetric("memory/optimizer", rep.memory.optimizer);
     rec.setMetric("memory/activations", rep.memory.activations);
 
-    foldTrace(rec, session);
+    planKernels(rec, run.plan);
+    for (const auto &kv : run.plan.plan.counters)
+        rec.counters[kv.first] = kv.second;
+    rec.counters["train/time-per-batch-s"] = rep.timePerBatch;
+    rec.counters["train/mfu"] = rep.mfu;
     return rec;
 }
 
@@ -352,11 +381,14 @@ recordInference(const TransformerConfig &model, const System &sys,
     RunRecord rec = beginRecord("inference", label, std::move(config));
     rec.threads = resolveThreads();
 
-    TraceSession session;
-    opts.trace = &session;
+    // The recorder reads kernel aggregates and counters straight off
+    // the evaluated plan; no trace session is involved.
+    opts.trace = nullptr;
     clock::time_point t0 = clock::now();
-    InferenceReport rep = evaluateInference(model, sys, opts);
+    plan::InferenceRun run =
+        plan::runInference(model, sys, opts, /*detail=*/true);
     rec.wallSeconds = secondsSince(t0);
+    const InferenceReport &rep = run.report;
 
     auto phase = [&rec](const std::string &prefix,
                         const PhaseReport &p) {
@@ -385,7 +417,9 @@ recordInference(const TransformerConfig &model, const System &sys,
     rec.setMetric("memory/weights", rep.weightBytes);
     rec.setMetric("memory/fits", rep.fitsDeviceMemory ? 1.0 : 0.0);
 
-    foldTrace(rec, session);
+    planKernels(rec, run.plan);
+    for (const auto &kv : run.plan.plan.counters)
+        rec.counters[kv.first] = kv.second;
     return rec;
 }
 

@@ -1,12 +1,6 @@
 #include "training/trainer.h"
 
-#include <algorithm>
-
-#include "parallel/pipeline.h"
-#include "roofline/stream.h"
-#include "trace/trace.h"
-#include "util/error.h"
-#include "workload/graph.h"
+#include "plan/plan.h"
 
 namespace optimus {
 
@@ -34,388 +28,17 @@ TrainingBreakdown::total() const
     return compute() + communication() + other();
 }
 
-namespace {
-
-/** Model FLOPs for one batch (fwd + bwd, no recompute). */
-double
-modelFlopsPerBatch(const TransformerConfig &cfg, long long global_batch,
-                   long long seq, Precision precision)
-{
-    LayerGraphParams gp;
-    gp.batch = global_batch;
-    gp.seq = seq;
-    gp.tensorParallel = 1;
-    gp.training = true;
-    gp.precision = precision;
-
-    double layer_fwd = 0.0;
-    for (const Op &op : layerForwardOps(cfg, gp))
-        layer_fwd += opFlops(op);
-
-    double head_fwd = 0.0;
-    for (const Op &op : headOps(cfg, global_batch * seq, 1, precision))
-        head_fwd += opFlops(op);
-
-    // Backward is twice the forward work.
-    return 3.0 * (layer_fwd * double(cfg.numLayers) + head_fwd);
-}
-
-} // namespace
-
+// The whole evaluation lives in the plan pipeline (plan/plan.h):
+// lowerTraining builds the step list, evaluatePlan runs the roofline
+// and collective models, foldTraining produces the breakdown and the
+// trace spans, and runTraining adds the memory / model-FLOPs / MFU
+// tail. This function is only the historical entry point.
 TrainingReport
 evaluateTraining(const TransformerConfig &cfg, const System &sys,
                  const ParallelConfig &par, long long global_batch,
                  const TrainingOptions &opts)
 {
-    cfg.validate();
-    sys.validate();
-    par.validate(cfg, sys, global_batch);
-    checkPositive(opts.seqLength, "seqLength");
-
-    const Device &dev = sys.device;
-    const long long tp = par.tensorParallel;
-    const long long pp = par.pipelineParallel;
-    const long long layers_local = cfg.numLayers / pp;
-    const long long m = par.microbatches(global_batch);
-    const double act_bytes = opts.memory.activationBytes;
-
-    TrainingReport rep;
-    rep.microbatches = m;
-
-    // Trace lanes model the critical (worst) pipeline stage — the one
-    // whose per-device time the analytical model predicts. Categories
-    // are named after TrainingBreakdown fields so per-category span
-    // sums reproduce the breakdown exactly.
-    TraceSession *tr = opts.trace;
-    const bool tron = tracing(tr);
-    int lane_fwd = 0, lane_bwd = 0, lane_rec = 0, lane_comm = 0,
-        lane_other = 0;
-    if (tron) {
-        lane_fwd = tr->lane("stage0/fwd");
-        lane_bwd = tr->lane("stage0/bwd");
-        lane_rec = tr->lane("stage0/recompute");
-        lane_comm = tr->lane("stage0/comm");
-        lane_other = tr->lane("stage0/other");
-        tr->counterAdd("train/microbatches", double(m));
-        tr->counterAdd("train/layers-per-stage",
-                       double(layers_local));
-    }
-
-    // ---- Per-layer per-microbatch device times ----------------------
-    LayerGraphParams gp;
-    gp.batch = par.microbatchSize;
-    gp.seq = opts.seqLength;
-    gp.tensorParallel = tp;
-    gp.sequenceParallel = par.sequenceParallel;
-    gp.precision = opts.precision;
-    gp.training = true;
-    gp.flashAttention = opts.flashAttention;
-    gp.expertParallel = par.expertParallel;
-    gp.contextParallel = par.contextParallel;
-    checkConfig(opts.seqLength % par.contextParallel == 0,
-                "sequence length must divide by the CP degree");
-
-    rep.layerForward = evaluateOps(dev, layerForwardOps(cfg, gp),
-                                   "layer-fwd");
-    rep.layerBackward = evaluateOps(dev, layerBackwardOps(cfg, gp),
-                                    "layer-bwd");
-
-    ActivationParams ap;
-    ap.microbatch = par.microbatchSize;
-    ap.seq = opts.seqLength;
-    ap.tensorParallel = tp;
-    ap.sequenceParallel = par.sequenceParallel;
-    ap.activationBytes = act_bytes;
-    ap.flashAttention = opts.flashAttention;
-    const double recompute_frac =
-        recomputeForwardFraction(cfg, ap, opts.recompute);
-
-    TrainingBreakdown &t = rep.time;
-    const double layers_mb = double(layers_local) * double(m);
-    t.forward = rep.layerForward.time * layers_mb;
-    t.backward = rep.layerBackward.time * layers_mb;
-    t.recompute = rep.layerForward.time * recompute_frac * layers_mb;
-
-    if (tron) {
-        // Per-kernel detail of one representative (microbatch 0,
-        // local layer 0) forward/backward pass. Category "kernel"
-        // keeps these out of the breakdown-matching categories.
-        int lane_kf = tr->lane("kernels/fwd");
-        int lane_kb = tr->lane("kernels/bwd");
-        for (const Op &op : layerForwardOps(cfg, gp)) {
-            TraceSpan s = kernelSpan(dev, op.name, "kernel",
-                                     evaluateOp(dev, op));
-            s.microbatch = 0;
-            s.layer = 0;
-            tr->emit(lane_kf, std::move(s));
-        }
-        for (const Op &op : layerBackwardOps(cfg, gp)) {
-            TraceSpan s = kernelSpan(dev, op.name, "kernel",
-                                     evaluateOp(dev, op));
-            s.microbatch = 0;
-            s.layer = 0;
-            tr->emit(lane_kb, std::move(s));
-        }
-
-        for (long long mb = 0; mb < m; ++mb) {
-            for (long long l = 0; l < layers_local; ++l) {
-                TraceSpan f;
-                f.name = "layer-fwd";
-                f.category = "forward";
-                f.duration = rep.layerForward.time;
-                f.microbatch = mb;
-                f.layer = l;
-                tr->emit(lane_fwd, std::move(f));
-
-                TraceSpan b;
-                b.name = "layer-bwd";
-                b.category = "backward";
-                b.duration = rep.layerBackward.time;
-                b.microbatch = mb;
-                b.layer = l;
-                tr->emit(lane_bwd, std::move(b));
-
-                if (recompute_frac > 0.0) {
-                    TraceSpan r;
-                    r.name = "layer-recompute";
-                    r.category = "recompute";
-                    r.duration =
-                        rep.layerForward.time * recompute_frac;
-                    r.microbatch = mb;
-                    r.layer = l;
-                    tr->emit(lane_rec, std::move(r));
-                }
-            }
-        }
-    }
-
-    // ---- Embedding + LM head (worst stage carries both) -------------
-    const long long mb_tokens = par.microbatchSize * opts.seqLength;
-    KernelEstimate head =
-        evaluateOps(dev, headOps(cfg, mb_tokens, tp, opts.precision),
-                    "head");
-    KernelEstimate embed = estimateStream(
-        dev, "embedding",
-        2.0 * double(mb_tokens) * cfg.hiddenSize * act_bytes, 0.0,
-        opts.precision);
-    // Forward + backward (2x) for the head GEMM; embedding backward is
-    // a scatter of comparable traffic. With pipeline parallelism the
-    // embedding and the head live on different stages, so the critical
-    // (worst) stage carries only the larger of the two.
-    double head_time = head.time * 3.0;
-    double embed_time = embed.time * 2.0;
-    double worst_extra = (pp > 1) ? std::max(head_time, embed_time)
-                                  : head_time + embed_time;
-    t.embedding = worst_extra * double(m);
-    if (tron)
-        for (long long mb = 0; mb < m; ++mb) {
-            TraceSpan s;
-            s.name = "embed+head";
-            s.category = "embedding";
-            s.duration = worst_extra;
-            s.microbatch = mb;
-            tr->emit(lane_fwd, std::move(s));
-        }
-
-    // ---- Tensor/sequence-parallel collectives ------------------------
-    if (tp > 1) {
-        const double tp_volume =
-            double(par.microbatchSize) * opts.seqLength *
-            cfg.hiddenSize * act_bytes;
-        // Two collectives per block pair (attention, MLP) in forward,
-        // two in backward; full recomputation repeats the forward
-        // ones. Selective recomputation's region has no collective.
-        double ops_per_layer =
-            4.0 + (opts.recompute == Recompute::Full ? 2.0 : 0.0);
-        CollectiveResult ar = systemCollective(
-            sys, CollectiveKind::AllReduce, tp_volume, tp,
-            GroupScope::IntraNode, opts.collectiveAlgorithm);
-        t.tpComm = ar.time * ops_per_layer * layers_mb *
-                   (1.0 - opts.tpOverlapFraction);
-        if (tron) {
-            double per_layer = ar.time * ops_per_layer *
-                               (1.0 - opts.tpOverlapFraction);
-            for (long long mb = 0; mb < m; ++mb)
-                for (long long l = 0; l < layers_local; ++l) {
-                    TraceSpan s;
-                    s.name = "tp-allreduce";
-                    s.category = "tp-comm";
-                    s.duration = per_layer;
-                    s.microbatch = mb;
-                    s.layer = l;
-                    tr->emit(lane_comm, std::move(s));
-                }
-        }
-    }
-
-    // ---- Context-parallel ring-attention KV exchange --------------------
-    if (par.contextParallel > 1) {
-        // Each device's K/V shard circulates around the CP ring: an
-        // all-gather's worth of wire traffic per layer in forward,
-        // twice in backward (KV again plus their gradients), plus the
-        // recompute replay.
-        double kv_heads_local = std::max(
-            1.0, double(cfg.numKvHeads) / double(tp));
-        double kv_volume = 2.0 * double(par.microbatchSize) *
-                           opts.seqLength * kv_heads_local *
-                           double(cfg.headDim()) * act_bytes;
-        double ops_per_layer =
-            3.0 + (opts.recompute == Recompute::Full ? 1.0 : 0.0);
-        GroupScope scope =
-            (par.contextParallel * tp <= sys.devicesPerNode)
-                ? GroupScope::IntraNode
-                : GroupScope::InterNode;
-        CollectiveResult ag = systemCollective(
-            sys, CollectiveKind::AllGather, kv_volume,
-            par.contextParallel, scope, opts.collectiveAlgorithm);
-        t.cpComm = ag.time * ops_per_layer * layers_mb;
-        if (tron) {
-            double per_layer = ag.time * ops_per_layer;
-            for (long long mb = 0; mb < m; ++mb)
-                for (long long l = 0; l < layers_local; ++l) {
-                    TraceSpan s;
-                    s.name = "cp-ring-exchange";
-                    s.category = "cp-comm";
-                    s.duration = per_layer;
-                    s.microbatch = mb;
-                    s.layer = l;
-                    tr->emit(lane_comm, std::move(s));
-                }
-        }
-    }
-
-    // ---- MoE expert-parallel all-to-all --------------------------------
-    if (cfg.isMoe() && par.expertParallel > 1) {
-        // Dispatch + combine per layer in forward, again in backward,
-        // and once more when full recomputation replays the forward.
-        double ep_volume = double(par.microbatchSize) *
-                           opts.seqLength * cfg.topK *
-                           cfg.hiddenSize * act_bytes;
-        double ops_per_layer =
-            4.0 + (opts.recompute == Recompute::Full ? 2.0 : 0.0);
-        GroupScope scope = (tp * pp >= sys.devicesPerNode)
-                               ? GroupScope::InterNode
-                               : GroupScope::IntraNode;
-        CollectiveResult a2a = systemCollective(
-            sys, CollectiveKind::AllToAll, ep_volume,
-            par.expertParallel, scope, opts.collectiveAlgorithm);
-        t.epComm = a2a.time * ops_per_layer * layers_mb;
-        if (tron) {
-            double per_layer = a2a.time * ops_per_layer;
-            for (long long mb = 0; mb < m; ++mb)
-                for (long long l = 0; l < layers_local; ++l) {
-                    TraceSpan s;
-                    s.name = "ep-alltoall";
-                    s.category = "ep-comm";
-                    s.duration = per_layer;
-                    s.microbatch = mb;
-                    s.layer = l;
-                    tr->emit(lane_comm, std::move(s));
-                }
-        }
-    }
-
-    // ---- Pipeline schedule -------------------------------------------
-    PipelineCost pc = pipelineCost(par.schedule, pp, m,
-                                   par.interleavedStages);
-    rep.bubbleFraction = pc.bubbleFraction;
-    if (pp > 1) {
-        double p2p_volume = double(par.microbatchSize) *
-                            opts.seqLength * cfg.hiddenSize * act_bytes;
-        if (par.sequenceParallel)
-            p2p_volume /= double(tp);
-        GroupScope scope = (tp * pp > sys.devicesPerNode)
-                               ? GroupScope::InterNode
-                               : GroupScope::IntraNode;
-        CollectiveResult p2p = systemCollective(
-            sys, CollectiveKind::PointToPoint, p2p_volume, 2, scope,
-            opts.collectiveAlgorithm);
-        t.ppComm = p2p.time * pc.p2pPerMicrobatch * double(m);
-        if (tron)
-            for (long long mb = 0; mb < m; ++mb) {
-                TraceSpan s;
-                s.name = "pp-p2p";
-                s.category = "pp-comm";
-                s.duration = p2p.time * pc.p2pPerMicrobatch;
-                s.microbatch = mb;
-                tr->emit(lane_comm, std::move(s));
-            }
-    }
-
-    // Bubble applies to the busy time of one pipeline iteration.
-    double busy = t.forward + t.backward + t.recompute + t.embedding +
-                  t.tpComm + t.cpComm + t.epComm + t.ppComm;
-    t.bubble = busy * pc.bubbleFraction;
-    if (tron && t.bubble > 0.0)
-        tr->emit(lane_other, "pipeline-bubble", "bubble", t.bubble);
-
-    // ---- Data-parallel gradient communication --------------------------
-    if (par.dataParallel > 1) {
-        double grad_volume = parametersPerDevice(cfg, par) *
-                             opts.memory.gradientBytes;
-        GroupScope scope =
-            (par.totalDevices() > sys.devicesPerNode)
-                ? GroupScope::InterNode
-                : GroupScope::IntraNode;
-        // Plain DP all-reduces gradients. ZeRO stages reduce-scatter
-        // the gradients and all-gather the updated weights — the same
-        // total volume as one all-reduce; stage 3 additionally
-        // re-gathers the sharded weights around the forward and
-        // backward passes.
-        CollectiveResult ar = systemCollective(
-            sys, CollectiveKind::AllReduce, grad_volume,
-            par.dataParallel, scope, opts.collectiveAlgorithm);
-        t.dpComm = ar.time * (1.0 - opts.dpOverlapFraction);
-        if (tron)
-            tr->emit(lane_comm, "dp-grad-allreduce", "dp-comm",
-                     ar.time * (1.0 - opts.dpOverlapFraction));
-        if (opts.memory.zeroStage >= 3) {
-            double weight_volume = parametersPerDevice(cfg, par) *
-                                   opts.memory.weightBytes;
-            CollectiveResult ag = systemCollective(
-                sys, CollectiveKind::AllGather, weight_volume,
-                par.dataParallel, scope, opts.collectiveAlgorithm);
-            t.dpComm += 2.0 * ag.time;
-            if (tron) {
-                tr->emit(lane_comm, "zero3-weight-allgather",
-                         "dp-comm", ag.time);
-                tr->emit(lane_comm, "zero3-weight-allgather",
-                         "dp-comm", ag.time);
-            }
-        }
-    }
-
-    // ---- Optimizer step ------------------------------------------------
-    // Adam mixed precision: read fp32 master+momentum+variance and the
-    // fp16 gradient, write the three fp32 states and the fp16 weight.
-    // ZeRO shards the update over the data-parallel group.
-    double params = parametersPerDevice(cfg, par);
-    if (opts.memory.zeroStage >= 1)
-        params /= double(par.dataParallel);
-    double opt_bytes = params * (3.0 * 4.0 + 2.0 + 3.0 * 4.0 + 2.0);
-    t.optimizer =
-        opt_bytes / (dev.dram().bandwidth * dev.dram().utilization);
-    if (tron)
-        tr->emit(lane_other, "optimizer-step", "optimizer",
-                 t.optimizer);
-
-    rep.timePerBatch = t.total();
-
-    // ---- Memory + MFU --------------------------------------------------
-    rep.memory = trainingMemoryPerDevice(cfg, par, global_batch,
-                                         opts.seqLength, opts.recompute,
-                                         opts.memory);
-    rep.modelFlops = modelFlopsPerBatch(cfg, global_batch,
-                                        opts.seqLength, opts.precision);
-    double system_peak = dev.matrixFlops(opts.precision) *
-                         double(sys.totalDevices());
-    rep.mfu = rep.modelFlops / (rep.timePerBatch * system_peak);
-    if (tron) {
-        tr->counterSet("train/time-per-batch-s", rep.timePerBatch);
-        tr->counterSet("train/mfu", rep.mfu);
-    }
-
-    return rep;
+    return plan::runTraining(cfg, sys, par, global_batch, opts).report;
 }
 
 } // namespace optimus

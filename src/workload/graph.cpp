@@ -386,6 +386,8 @@ opFlops(const Op &op)
         return op.elements * op.flopsPerElement;
       case OpKind::FusedAttention:
         return op.fusedFlops;
+      case OpKind::Stream:
+        return op.streamFlops;
     }
     throw ModelError("unknown op kind");
 }
@@ -457,6 +459,10 @@ evaluateOp(const Device &dev, const Op &op)
         finalizeEstimate(est);
         return est;
       }
+      case OpKind::Stream:
+        return estimateStream(dev, op.name, op.streamBytes,
+                              op.streamFlops, op.streamPrecision,
+                              !op.fused);
     }
     throw ModelError("unknown op kind");
 }

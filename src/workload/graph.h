@@ -30,6 +30,7 @@ enum class OpKind {
     LayerNorm,       ///< row-wise normalization
     Elementwise,     ///< GELU / dropout / residual / bias
     FusedAttention,  ///< IO-aware fused attention (FlashAttention)
+    Stream,          ///< raw byte/FLOP stream (embedding lookups, ...)
 };
 
 /** One operator of a layer graph, sized for a single device shard. */
@@ -63,6 +64,11 @@ struct Op
     double fusedDramBytes = 0.0;
     double fusedOnChipBytes = 0.0;  ///< L2-level traffic
     Precision fusedPrecision = Precision::FP16;
+
+    // Stream parameters: explicit DRAM byte / FLOP totals.
+    double streamBytes = 0.0;
+    double streamFlops = 0.0;
+    Precision streamPrecision = Precision::FP16;
 
     bool fused = false;   ///< fused into neighbour: no launch overhead
 };

@@ -545,6 +545,96 @@ cmdTrace(const Args &args)
     return 0;
 }
 
+int
+cmdKernels(const Args &args)
+{
+    std::string path = args.positionals().empty()
+                           ? args.get("config", "")
+                           : args.positionals().front();
+    JsonValue cfg = JsonValue::object();
+    if (!path.empty()) {
+        std::ifstream in(path);
+        checkConfig(in.good(), "cannot open config file " + path);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        cfg = JsonValue::parse(ss.str());
+    }
+
+    TransformerConfig model = resolveModel(args, cfg);
+    System sys = resolveSystem(args, cfg);
+    bool infer = (cfg.isObject() && cfg.has("inference")) ||
+                 args.get("mode", "train") == "infer";
+
+    plan::EvaluatedPlan ep;
+    double model_total = 0.0;
+    std::string what;
+    if (infer) {
+        InferenceOptions opts = resolveInferenceOptions(args, cfg);
+        plan::InferenceRun run = plan::runInference(model, sys, opts);
+        ep = std::move(run.plan);
+        model_total = run.report.totalLatency;
+        what = "inference latency";
+    } else {
+        ParallelConfig par = resolveParallel(args, cfg);
+        if (!args.has("dp") &&
+            !(cfg.isObject() && cfg.has("parallel"))) {
+            long long rest =
+                par.tensorParallel * par.pipelineParallel;
+            if (sys.totalDevices() % rest == 0)
+                par.dataParallel = sys.totalDevices() / rest;
+        }
+        long long batch = args.getInt("batch", 64);
+        TrainingOptions opts = resolveTrainingOptions(args, cfg);
+        plan::TrainingRun run =
+            plan::runTraining(model, sys, par, batch, opts);
+        ep = std::move(run.plan);
+        model_total = run.report.timePerBatch;
+        what = "training time per batch";
+    }
+
+    // --out redirects whichever representation was selected; the
+    // human-readable table defaults to stdout.
+    std::ostream *os = &std::cout;
+    std::ofstream file;
+    if (args.has("out")) {
+        std::string out = args.get("out", "kernels.json");
+        file.open(out);
+        checkConfig(file.good(), "cannot write output file " + out);
+        os = &file;
+    }
+
+    if (args.has("json")) {
+        *os << plan::planJson(ep).dump(2) << "\n";
+        return 0;
+    }
+    if (args.has("csv")) {
+        *os << plan::planCsv(ep);
+        return 0;
+    }
+
+    Table table({"lane", "name", "category", "kind", "count",
+                 "total", "detail"});
+    double total = 0.0;
+    for (const plan::StepSummary &r : plan::summarizePlan(ep)) {
+        table.beginRow()
+            .cell(r.lane)
+            .cell(r.name)
+            .cell(r.category)
+            .cell(r.kind)
+            .cell(r.count)
+            .cell(formatTime(r.total))
+            .cell(r.detail);
+        table.endRow();
+        total += r.total;
+    }
+    *os << model.name << " on " << sys.device.name << ", " << what
+        << " " << formatTime(model_total) << "\n\n";
+    table.print(*os);
+    *os << "\n" << table.rowCount() << " plan steps, span total "
+        << formatTime(total) << "\n";
+    return 0;
+}
+
 DramTech
 resolveDramTech(const std::string &name)
 {
@@ -852,6 +942,9 @@ usage()
         "           [--threads N]\n"
         "           record a Perfetto-loadable timeline of the "
         "modeled run\n"
+        "  kernels  <config.json> [--json|--csv] [--out FILE]\n"
+        "           dump the lowered kernel plan (one row per plan\n"
+        "           step: identity, repeat count, time, bound/scope)\n"
         "  dse      [--mode train|infer] [--node N3|N5] [--dram D]\n"
         "           [--area MM2] [--power W] [--verbose] "
         "[--threads N]\n"
@@ -895,6 +988,8 @@ main(int argc, char **argv)
             return cmdLint(args);
         if (args.command() == "trace")
             return cmdTrace(args);
+        if (args.command() == "kernels")
+            return cmdKernels(args);
         if (args.command() == "dse")
             return cmdDse(args);
         if (args.command() == "record")
